@@ -1,0 +1,400 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (printed as aligned text tables), then runs
+   bechamel micro-benchmarks of the core kernels.
+
+   Usage:
+     dune exec bench/main.exe               # everything, laptop-scale
+     dune exec bench/main.exe -- table2     # one section
+     dune exec bench/main.exe -- --full     # paper-scale fig2/fig6 sweeps
+   Sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal micro *)
+
+module E = Rdca_flow.Experiments
+module T = Rdca_flow.Tablefmt
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+
+let run_table1 () =
+  let rows = timed "table1" E.table1 in
+  T.print ~title:"Table 1: benchmark properties (measured vs paper)"
+    ~header:
+      [ "name"; "in"; "out"; "%DC"; "E[Cf]"; "E[Cf] paper"; "Cf"; "Cf paper" ]
+    (List.map
+       (fun r ->
+         [
+           r.E.t1_name;
+           string_of_int r.E.t1_ni;
+           string_of_int r.E.t1_no;
+           T.pct r.E.t1_dc_pct;
+           T.f3 r.E.t1_ecf;
+           T.f3 r.E.t1_paper_ecf;
+           T.f3 r.E.t1_cf;
+           T.f3 r.E.t1_paper_cf;
+         ])
+       rows)
+
+let run_fig2 ~full () =
+  let rng = Random.State.make [| 2011 |] in
+  let per_target = if full then 10 else 3 in
+  let rows = timed "fig2" (fun () -> E.fig2 ~per_target ~rng ()) in
+  T.print
+    ~title:
+      "Figure 2: minimised SOP size vs complexity factor (10-in/1-out \
+       synthetics)"
+    ~header:[ "target Cf"; "measured Cf"; "SOP implicants" ]
+    (List.map
+       (fun p ->
+         [ T.f2 p.E.f2_target; T.f3 p.E.f2_measured_cf; string_of_int p.E.f2_sop ])
+       rows)
+
+let sweep_cache = ref None
+
+let get_sweep () =
+  match !sweep_cache with
+  | Some s -> s
+  | None ->
+      let s = timed "fraction sweep (figs 4+5)" (fun () -> E.sweep ()) in
+      sweep_cache := Some s;
+      s
+
+let run_fig4 () =
+  let rows = E.fig4_of_sweep (get_sweep ()) in
+  let fractions = [| 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 |] in
+  T.print
+    ~title:
+      "Figure 4: normalised error rate vs fraction of DCs ranking-assigned"
+    ~header:
+      ("name"
+      :: Array.to_list (Array.map (fun f -> Printf.sprintf "f=%.1f" f) fractions)
+      )
+    (List.map
+       (fun (name, norms) -> name :: Array.to_list (Array.map T.f3 norms))
+       rows)
+
+let run_fig5 () =
+  let stats = E.fig5_of_sweep (get_sweep ()) in
+  T.print
+    ~title:
+      "Figure 5: normalised min/mean/max area, delay, power vs fraction (per \
+       optimisation mode)"
+    ~header:
+      [
+        "mode"; "frac"; "area min"; "area mean"; "area max"; "delay min";
+        "delay mean"; "delay max"; "power min"; "power mean"; "power max";
+      ]
+    (List.map
+       (fun s ->
+         let amin, dmin, pmin = s.E.f5_min in
+         let amean, dmean, pmean = s.E.f5_mean in
+         let amax, dmax, pmax = s.E.f5_max in
+         [
+           Techmap.Mapper.mode_name s.E.f5_mode;
+           T.f2 s.E.f5_fraction;
+           T.f2 amin; T.f2 amean; T.f2 amax;
+           T.f2 dmin; T.f2 dmean; T.f2 dmax;
+           T.f2 pmin; T.f2 pmean; T.f2 pmax;
+         ])
+       stats)
+
+let run_fig6 ~full () =
+  let rng = Random.State.make [| 66 |] in
+  let funcs = if full then 10 else 2 in
+  let families =
+    timed "fig6" (fun () -> E.fig6 ~funcs_per_family:funcs ~rng ())
+  in
+  T.print
+    ~title:
+      "Figure 6: normalised area vs normalised error rate, by Cf family \
+       (11-in/11-out, 60% DC; fraction sweep 0..1)"
+    ~header:[ "Cf family"; "fraction"; "norm area"; "norm error" ]
+    (List.concat_map
+       (fun fam ->
+         List.map
+           (fun p ->
+             [
+               T.f2 fam.E.f6_cf;
+               T.f2 p.E.f6_fraction;
+               T.f3 p.E.f6_area;
+               T.f3 p.E.f6_error;
+             ])
+           fam.E.f6_points)
+       families)
+
+let run_table2 () =
+  let rows = timed "table2" (fun () -> E.table2 ()) in
+  T.print
+    ~title:
+      "Table 2: complexity-factor-based assignment results (improvement %, \
+       negative = overhead)"
+    ~header:
+      [
+        "name"; "Cf"; "LCf area"; "LCf E.R."; "Rank area"; "Rank E.R.";
+        "Compl area"; "Compl E.R.";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.E.t2_name;
+           T.f3 r.E.t2_cf;
+           T.pct r.E.t2_lcf_area;
+           T.pct r.E.t2_lcf_er;
+           T.pct r.E.t2_rank_area;
+           T.pct r.E.t2_rank_er;
+           T.pct r.E.t2_comp_area;
+           T.pct r.E.t2_comp_er;
+         ])
+       rows)
+
+let run_table3 () =
+  let rows = timed "table3" (fun () -> E.table3 ()) in
+  T.print ~title:"Table 3: min-max reliability estimates"
+    ~header:
+      [
+        "name"; "gates"; "exact lo"; "exact hi"; "signal lo"; "signal hi";
+        "border lo"; "border hi"; "conv rate"; "conv %diff"; "LCf rate";
+        "LCf %diff";
+      ]
+    (List.map
+       (fun r ->
+         let xl, xh = r.E.t3_exact in
+         let sl, sh = r.E.t3_signal in
+         let bl, bh = r.E.t3_border in
+         [
+           r.E.t3_name;
+           string_of_int r.E.t3_gates;
+           T.f3 xl; T.f3 xh; T.f3 sl; T.f3 sh; T.f3 bl; T.f3 bh;
+           T.f3 r.E.t3_conv_rate; T.pct r.E.t3_conv_diff;
+           T.f3 r.E.t3_lcf_rate; T.pct r.E.t3_lcf_diff;
+         ])
+       rows)
+
+let run_ablations () =
+  let thr =
+    timed "ablation: threshold sweep" (fun () ->
+        E.ablation_threshold ~name:"ex1010" ())
+  in
+  T.print ~title:"Ablation: LCf threshold sweep on ex1010 (improvement %)"
+    ~header:[ "threshold"; "area"; "error rate" ]
+    (List.map (fun (t, a, e) -> [ T.f2 t; T.pct a; T.pct e ]) thr);
+  let nm =
+    timed "ablation: neighbour model" (fun () -> E.ablation_neighbour_model ())
+  in
+  T.print
+    ~title:
+      "Ablation: Poisson vs binomial neighbour model (border-based bounds)"
+    ~header:
+      [
+        "name"; "poisson lo"; "poisson hi"; "binom lo"; "binom hi";
+        "exact lo"; "exact hi";
+      ]
+    (List.map
+       (fun (name, (pl, ph), (bl, bh), (xl, xh)) ->
+         [ name; T.f3 pl; T.f3 ph; T.f3 bl; T.f3 bh; T.f3 xl; T.f3 xh ])
+       nm);
+  let bal = timed "ablation: balance" (fun () -> E.ablation_balance ()) in
+  T.print ~title:"Ablation: AIG balancing effect on critical path (ns)"
+    ~header:[ "name"; "with balance"; "without" ]
+    (List.map (fun (name, w, wo) -> [ name; T.f3 w; T.f3 wo ]) bal);
+  let sh =
+    timed "ablation: output sharing" (fun () ->
+        E.ablation_sharing
+          ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010"; "exam" ]
+          ())
+  in
+  T.print
+    ~title:
+      "Ablation: per-output vs shared-cube (multi-output espresso) \
+       minimisation"
+    ~header:[ "name"; "area single"; "area shared"; "cubes single"; "cubes shared" ]
+    (List.map
+       (fun (name, a1, a2, c1, c2) ->
+         [ name; T.f2 a1; T.f2 a2; string_of_int c1; string_of_int c2 ])
+       sh);
+  let fc =
+    timed "ablation: factoring" (fun () ->
+        E.ablation_factoring
+          ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010"; "exam" ]
+          ())
+  in
+  T.print
+    ~title:"Ablation: flat SOP vs algebraically factored AIG construction"
+    ~header:
+      [ "name"; "area flat"; "area factored"; "nodes flat"; "nodes factored" ]
+    (List.map
+       (fun (name, a1, a2, n1, n2) ->
+         [ name; T.f2 a1; T.f2 a2; string_of_int n1; string_of_int n2 ])
+       fc);
+  let mb =
+    timed "ablation: multi-bit errors" (fun () ->
+        E.ablation_multibit ~names:[ "bench"; "test4"; "ex1010" ] ())
+  in
+  T.print
+    ~title:
+      "Ablation: single-bit-tuned assignment under k-bit input errors"
+    ~header:[ "name"; "k"; "conv rate"; "complete rate"; "improvement %" ]
+    (List.map
+       (fun (name, k, rc, rr, impr) ->
+         [ name; string_of_int k; T.f3 rc; T.f3 rr; T.pct impr ])
+       mb)
+
+let run_nodal () =
+  let rows =
+    timed "nodal decomposition" (fun () ->
+        E.nodal_decomposition
+          ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010" ]
+          ())
+  in
+  T.print
+    ~title:
+      "Section 4 extension: internal error rate before/after nodal LCf \
+       reassignment"
+    ~header:[ "name"; "before"; "after"; "improvement %" ]
+    (List.map
+       (fun (name, before, after) ->
+         [
+           name;
+           T.f3 before;
+           T.f3 after;
+           T.pct
+             (if before = 0.0 then 0.0
+              else 100.0 *. (before -. after) /. before);
+         ])
+       rows);
+  let rrows =
+    timed "nodal decomposition (renode / 4-LUT)" (fun () ->
+        E.nodal_renode ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010" ] ())
+  in
+  T.print
+    ~title:
+      "Section 4 extension at renode (4-LUT) granularity: coarser local \
+       DC spaces"
+    ~header:[ "name"; "LUTs"; "with DCs"; "before"; "after"; "improvement %" ]
+    (List.map
+       (fun (name, luts, dcs, before, after) ->
+         [
+           name;
+           string_of_int luts;
+           string_of_int dcs;
+           T.f3 before;
+           T.f3 after;
+           T.pct
+             (if before = 0.0 then 0.0
+              else 100.0 *. (before -. after) /. before);
+         ])
+       rrows);
+  let orows =
+    timed "nodal decomposition (ODC-aware)" (fun () ->
+        E.nodal_odc ~names:[ "bench"; "fout"; "p3"; "test4" ] ())
+  in
+  T.print
+    ~title:
+      "Section 4 extension: satisfiability-only vs observability-aware \
+       reassignment (internal error rate)"
+    ~header:[ "name"; "baseline"; "SDC only"; "with ODC"; "ODC improvement %" ]
+    (List.map
+       (fun (name, base, sdc, odc) ->
+         [
+           name;
+           T.f3 base;
+           T.f3 sdc;
+           T.f3 odc;
+           T.pct
+             (if base = 0.0 then 0.0 else 100.0 *. (base -. odc) /. base);
+         ])
+       orows)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core kernels. *)
+
+let micro () =
+  let open Bechamel in
+  let spec = Synthetic.Suite.load_by_name "ex1010" in
+  let on = Pla.Spec.on_bv spec ~o:0 and dc = Pla.Spec.dc_bv spec ~o:0 in
+  let cover = Espresso.Dense.minimize ~n:10 ~on ~dc in
+  let covers =
+    List.init (Pla.Spec.no spec) (fun o ->
+        Espresso.Dense.minimize ~n:10 ~on:(Pla.Spec.on_bv spec ~o)
+          ~dc:(Pla.Spec.dc_bv spec ~o))
+  in
+  let aig = Aig.Opt.balance (Aig.of_covers ~ni:10 covers) in
+  let lib = Techmap.Stdcell.default_library () in
+  let tests =
+    Test.make_grouped ~name:"rdca"
+      [
+        Test.make ~name:"espresso-dense ex1010/o0"
+          (Staged.stage (fun () -> Espresso.Dense.minimize ~n:10 ~on ~dc));
+        Test.make ~name:"ranking assignment ex1010"
+          (Staged.stage (fun () -> Rdca_core.Assign.ranking ~fraction:0.5 spec));
+        Test.make ~name:"lcf assignment ex1010"
+          (Staged.stage (fun () ->
+               Rdca_core.Assign.by_complexity ~threshold:0.55 spec));
+        Test.make ~name:"exact bounds ex1010"
+          (Staged.stage (fun () -> Reliability.Error_rate.mean_bounds spec));
+        Test.make ~name:"border estimate ex1010"
+          (Staged.stage (fun () -> Reliability.Estimate.mean_border_based spec));
+        Test.make ~name:"bdd of cover (o0)"
+          (Staged.stage (fun () ->
+               let man = Bdd.make_man ~nvars:10 in
+               Bdd.of_cover man cover));
+        Test.make ~name:"cut enumeration (ex1010 aig)"
+          (Staged.stage (fun () -> Aig.Cut.enumerate aig ~k:4 ~max_cuts:8));
+        Test.make ~name:"techmap delay (ex1010 aig)"
+          (Staged.stage (fun () ->
+               Techmap.Mapper.map ~mode:Techmap.Mapper.Delay ~lib aig));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  T.print ~title:"Micro-benchmarks (monotonic clock, per call)"
+    ~header:[ "kernel"; "time" ]
+    (List.map
+       (fun (name, ns) ->
+         let h =
+           if Float.is_nan ns then "n/a"
+           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; h ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let sections = List.filter (fun a -> a <> "--full") args in
+  let want s = sections = [] || List.mem s sections in
+  let t0 = Unix.gettimeofday () in
+  if want "table1" then run_table1 ();
+  if want "fig2" then run_fig2 ~full ();
+  if want "fig4" then run_fig4 ();
+  if want "fig5" then run_fig5 ();
+  if want "fig6" then run_fig6 ~full ();
+  if want "table2" then run_table2 ();
+  if want "table3" then run_table3 ();
+  if want "ablations" then run_ablations ();
+  if want "nodal" then run_nodal ();
+  if want "micro" then micro ();
+  Printf.printf "\n[total %.1fs]\n" (Unix.gettimeofday () -. t0)

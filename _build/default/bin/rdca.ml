@@ -1,0 +1,253 @@
+(* rdca — command-line driver for reliability-driven DC assignment.
+
+   Subcommands:
+     stats      function statistics (Table-1 style) + reliability bounds
+     assign     apply a DC assignment strategy to a .pla, write .pla
+     synth      full flow: assignment, espresso, AIG, techmap; print report
+     gen        generate a synthetic benchmark (.pla)
+     estimate   analytical min-max reliability estimates vs exact bounds
+     suite      list the built-in Table 1 benchmark suite *)
+
+open Cmdliner
+
+let read_spec path_or_name =
+  if Sys.file_exists path_or_name && not (Sys.is_directory path_or_name) then
+    (Pla.parse_file path_or_name).Pla.spec
+  else
+    match Synthetic.Suite.find path_or_name with
+    | entry -> Synthetic.Suite.load entry
+    | exception Not_found ->
+        Fmt.failwith "%s: not a file nor a suite benchmark name" path_or_name
+
+let input_arg =
+  let doc =
+    "Input function: a .pla file path, or the name of a built-in suite \
+     benchmark (see $(b,rdca suite))."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+
+let output_arg =
+  let doc = "Output .pla path (defaults to stdout)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let emit_spec out spec =
+  match out with
+  | None -> print_string (Pla.to_string spec)
+  | Some path -> Pla.write_file path spec
+
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run input =
+    let spec = read_spec input in
+    let module B = Reliability.Borders in
+    let module ER = Reliability.Error_rate in
+    Fmt.pr "inputs:   %d@." (Pla.Spec.ni spec);
+    Fmt.pr "outputs:  %d@." (Pla.Spec.no spec);
+    Fmt.pr "%%DC:      %.1f@." (100.0 *. Pla.Spec.dc_fraction spec);
+    Fmt.pr "E[C^f]:   %.3f@." (B.mean_expected_complexity_factor spec);
+    Fmt.pr "C^f:      %.3f@." (B.mean_complexity_factor spec);
+    let b = ER.mean_bounds spec in
+    Fmt.pr "error-rate bounds: base=%.4f  min=%.4f  max=%.4f@." b.ER.base
+      (ER.min_rate b) (ER.max_rate b);
+    for o = 0 to Pla.Spec.no spec - 1 do
+      let f1, f0, fdc = Pla.Spec.signal_probs spec ~o in
+      Fmt.pr "  y%d: f1=%.3f f0=%.3f fdc=%.3f C^f=%.3f@." o f1 f0 fdc
+        (B.complexity_factor spec ~o)
+    done;
+    0
+  in
+  let doc = "Print function statistics and exact reliability bounds" in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ input_arg)
+
+let strategy_args =
+  let method_ =
+    let doc = "Assignment method: ranking | lcf | complete | conventional." in
+    Arg.(
+      value
+      & opt (enum
+               [ ("ranking", `Ranking); ("lcf", `Lcf); ("complete", `Complete);
+                 ("conventional", `Conventional) ])
+          `Ranking
+      & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+  in
+  let fraction =
+    let doc = "Fraction of ranked DCs to assign (ranking method)." in
+    Arg.(value & opt float 1.0 & info [ "f"; "fraction" ] ~docv:"F" ~doc)
+  in
+  let threshold =
+    let doc = "Local-complexity-factor threshold (lcf method)." in
+    Arg.(value & opt float 0.55 & info [ "t"; "threshold" ] ~docv:"T" ~doc)
+  in
+  let combine m f t =
+    match m with
+    | `Ranking -> Rdca_flow.Flow.Ranking f
+    | `Lcf -> Rdca_flow.Flow.Lcf t
+    | `Complete -> Rdca_flow.Flow.Complete
+    | `Conventional -> Rdca_flow.Flow.Conventional
+  in
+  Term.(const combine $ method_ $ fraction $ threshold)
+
+let assign_cmd =
+  let run input out strategy finish =
+    let spec = read_spec input in
+    let partial = Rdca_flow.Flow.apply_strategy strategy spec in
+    let result =
+      if finish then fst (Rdca_flow.Flow.implement partial) else partial
+    in
+    emit_spec out result;
+    0
+  in
+  let finish =
+    let doc =
+      "Also assign the remaining DCs conventionally (espresso), producing a \
+       fully specified function."
+    in
+    Arg.(value & flag & info [ "finish" ] ~doc)
+  in
+  let doc = "Apply a reliability-driven DC assignment and write the .pla" in
+  Cmd.v (Cmd.info "assign" ~doc)
+    Term.(const run $ input_arg $ output_arg $ strategy_args $ finish)
+
+let mode_arg =
+  let doc = "Optimisation mode: delay | area | power." in
+  Arg.(
+    value
+    & opt (enum
+             [ ("delay", Techmap.Mapper.Delay); ("area", Techmap.Mapper.Area);
+               ("power", Techmap.Mapper.Power) ])
+        Techmap.Mapper.Delay
+    & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let synth_cmd =
+  let run input strategy mode verify factored shared blif_out verilog_out =
+    let spec = read_spec input in
+    let r =
+      if shared then Rdca_flow.Flow.synthesize_shared ~mode ~strategy spec
+      else if verify then
+        Rdca_flow.Flow.verified_synthesize ~factored ~mode ~strategy spec
+      else Rdca_flow.Flow.synthesize ~factored ~mode ~strategy spec
+    in
+    Fmt.pr "strategy:        %s@." (Rdca_flow.Flow.strategy_name strategy);
+    Fmt.pr "mode:            %s%s%s@."
+      (Techmap.Mapper.mode_name mode)
+      (if factored then " +factored" else "")
+      (if shared then " +shared" else "");
+    Fmt.pr "assigned DCs:    %.1f%%@." (100.0 *. r.Rdca_flow.Flow.assigned_fraction);
+    Fmt.pr "SOP cubes:       %d@." r.Rdca_flow.Flow.sop_cubes;
+    Fmt.pr "error rate:      %.4f@." r.Rdca_flow.Flow.error_rate;
+    Fmt.pr "report:          %a@." Techmap.Report.pp r.Rdca_flow.Flow.report;
+    (match (blif_out, verilog_out) with
+    | None, None -> ()
+    | _ ->
+        (* re-run the build to obtain the netlist for export *)
+        let partial = Rdca_flow.Flow.apply_strategy strategy spec in
+        let full, covers = Rdca_flow.Flow.implement partial in
+        ignore full;
+        let ni = Pla.Spec.ni spec in
+        let aig =
+          if factored then
+            Aig.of_factored ~ni (List.map Twolevel.Factor.factor covers)
+          else Aig.of_covers ~ni covers
+        in
+        let nl =
+          Techmap.Mapper.map ~mode
+            ~lib:(Techmap.Stdcell.default_library ())
+            (Aig.Opt.balance aig)
+        in
+        Option.iter (fun p -> Netlist_io.Blif.write_netlist p nl) blif_out;
+        Option.iter
+          (fun p -> Netlist_io.Verilog.write_netlist p nl)
+          verilog_out);
+    0
+  in
+  let verify =
+    let doc = "Exhaustively verify the mapped netlist against the spec." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let factored =
+    let doc = "Algebraically factor covers before AIG construction." in
+    Arg.(value & flag & info [ "factored" ] ~doc)
+  in
+  let shared =
+    let doc = "Use multi-output (shared-cube) espresso." in
+    Arg.(value & flag & info [ "shared" ] ~doc)
+  in
+  let blif_out =
+    let doc = "Also write the mapped netlist as BLIF." in
+    Arg.(value & opt (some string) None & info [ "blif" ] ~docv:"FILE" ~doc)
+  in
+  let verilog_out =
+    let doc = "Also write the mapped netlist as structural Verilog." in
+    Arg.(value & opt (some string) None & info [ "verilog" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Run the full synthesis flow and print metrics" in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(
+      const run $ input_arg $ strategy_args $ mode_arg $ verify $ factored
+      $ shared $ blif_out $ verilog_out)
+
+let gen_cmd =
+  let run ni no dc cf seed out =
+    let rng = Random.State.make [| seed |] in
+    let params =
+      Synthetic.Synth_gen.default_params ~ni ~dc_frac:dc ~target_cf:cf
+    in
+    let spec = Synthetic.Synth_gen.spec ~rng ~no params in
+    emit_spec out spec;
+    0
+  in
+  let ni = Arg.(value & opt int 8 & info [ "ni" ] ~docv:"N" ~doc:"Inputs.") in
+  let no = Arg.(value & opt int 4 & info [ "no" ] ~docv:"N" ~doc:"Outputs.") in
+  let dc =
+    Arg.(value & opt float 0.6 & info [ "dc" ] ~docv:"F" ~doc:"DC fraction.")
+  in
+  let cf =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "cf" ] ~docv:"C" ~doc:"Target complexity factor (optional).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
+  in
+  let doc = "Generate a synthetic benchmark (.pla)" in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run $ ni $ no $ dc $ cf $ seed $ output_arg)
+
+let estimate_cmd =
+  let run input =
+    let spec = read_spec input in
+    let module ER = Reliability.Error_rate in
+    let module Est = Reliability.Estimate in
+    let b = ER.mean_bounds spec in
+    let s = Est.mean_signal_based spec in
+    let bo = Est.mean_border_based spec in
+    Fmt.pr "exact bounds:   [%.4f, %.4f]@." (ER.min_rate b) (ER.max_rate b);
+    Fmt.pr "signal-based:   [%.4f, %.4f]@." s.Est.lo s.Est.hi;
+    Fmt.pr "border-based:   [%.4f, %.4f]@." bo.Est.lo bo.Est.hi;
+    0
+  in
+  let doc = "Analytical min-max reliability estimates vs exact bounds" in
+  Cmd.v (Cmd.info "estimate" ~doc) Term.(const run $ input_arg)
+
+let suite_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Fmt.pr "%-8s  %2d in  %2d out  %%DC %.1f  C^f %.3f@."
+          e.Synthetic.Suite.name e.Synthetic.Suite.ni e.Synthetic.Suite.no
+          e.Synthetic.Suite.dc_percent e.Synthetic.Suite.cf)
+      Synthetic.Suite.entries;
+    0
+  in
+  let doc = "List the built-in Table 1 benchmark suite" in
+  Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc = "Reliability-driven don't care assignment for logic synthesis" in
+  let info = Cmd.info "rdca" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ stats_cmd; assign_cmd; synth_cmd; gen_cmd; estimate_cmd; suite_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/border_counts.ml: List Pla Printf Reliability

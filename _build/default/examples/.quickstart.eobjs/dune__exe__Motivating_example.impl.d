@@ -1,0 +1,1 @@
+examples/motivating_example.ml: List Pla Printf Rdca_core Reliability

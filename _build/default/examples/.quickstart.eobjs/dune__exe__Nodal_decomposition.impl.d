@@ -1,0 +1,1 @@
+examples/nodal_decomposition.ml: Aig Array Bitvec Netlist Pla Printf Rdca_core Rdca_flow Synthetic Techmap

@@ -1,0 +1,1 @@
+examples/nodal_decomposition.mli:

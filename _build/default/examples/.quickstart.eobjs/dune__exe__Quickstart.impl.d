@@ -1,0 +1,1 @@
+examples/quickstart.ml: Pla Printf Rdca_flow Reliability Synthetic Techmap

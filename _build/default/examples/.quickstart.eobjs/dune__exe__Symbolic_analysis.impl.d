@@ -1,0 +1,1 @@
+examples/symbolic_analysis.ml: Bdd Printf Reliability String Twolevel

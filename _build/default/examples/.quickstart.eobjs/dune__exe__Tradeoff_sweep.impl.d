@@ -1,0 +1,1 @@
+examples/tradeoff_sweep.ml: Array List Printf Rdca_flow Synthetic Sys Techmap

@@ -1,0 +1,48 @@
+(* The paper's Figure 8: two functions with IDENTICAL signal
+   probabilities but different border counts, hence different
+   achievable error-rate ranges — the information the border-based
+   estimate exploits and the signal-probability estimate cannot see.
+
+   Run with:  dune exec examples/border_counts.exe *)
+
+module Spec = Pla.Spec
+module Borders = Reliability.Borders
+module ER = Reliability.Error_rate
+module Est = Reliability.Estimate
+
+(* 4-variable K-maps with 4 on, 8 off, 4 dc minterms each.
+   "clustered": the on-set and DC-set are sub-cubes (few borders).
+   "scattered": same counts, spread out (many borders). *)
+let clustered () =
+  let s = Spec.create ~ni:4 ~no:1 ~default:Spec.Off in
+  (* on: the x0x1 = 11 column (a 2x2 block) *)
+  List.iter (fun m -> Spec.set s ~o:0 ~m Spec.On) [ 3; 7; 11; 15 ];
+  (* dc: the x0x1 = 00 / x2 = 0 pairs *)
+  List.iter (fun m -> Spec.set s ~o:0 ~m Spec.Dc) [ 0; 8; 1; 9 ];
+  s
+
+let scattered () =
+  let s = Spec.create ~ni:4 ~no:1 ~default:Spec.Off in
+  List.iter (fun m -> Spec.set s ~o:0 ~m Spec.On) [ 0; 6; 9; 15 ];
+  List.iter (fun m -> Spec.set s ~o:0 ~m Spec.Dc) [ 3; 5; 10; 12 ];
+  s
+
+let describe name s =
+  let f1, f0, fdc = Spec.signal_probs s ~o:0 in
+  let { Borders.b0; b1; bdc } = Borders.border_counts s ~o:0 in
+  let b = ER.bounds s ~o:0 in
+  let sig_est = Est.signal_based s ~o:0 in
+  let bor_est = Est.border_based s ~o:0 in
+  Printf.printf "%s:\n" name;
+  Printf.printf "  signal probs: f1=%.2f f0=%.2f fdc=%.2f\n" f1 f0 fdc;
+  Printf.printf "  borders: b0=%d b1=%d bDC=%d\n" b0 b1 bdc;
+  Printf.printf "  exact bounds:  [%.4f, %.4f]\n" (ER.min_rate b)
+    (ER.max_rate b);
+  Printf.printf "  signal-based:  [%.4f, %.4f]   <- identical for both\n"
+    sig_est.Est.lo sig_est.Est.hi;
+  Printf.printf "  border-based:  [%.4f, %.4f]   <- tracks the structure\n\n"
+    bor_est.Est.lo bor_est.Est.hi
+
+let () =
+  describe "clustered (few borders)" (clustered ());
+  describe "scattered (many borders)" (scattered ())

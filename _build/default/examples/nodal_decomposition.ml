@@ -1,0 +1,41 @@
+(* Section 4's nodal-decomposition extension: apply the LC^f rule to
+   the satisfiability don't-cares of each mapped cell, improving the
+   masking of INTERNAL single-flip errors without touching the I/O
+   behaviour.
+
+   Run with:  dune exec examples/nodal_decomposition.exe *)
+
+module Decompose = Rdca_core.Decompose
+
+let () =
+  let spec = Synthetic.Suite.load_by_name "test4" in
+  let _, covers = Rdca_flow.Flow.implement (Pla.Spec.copy spec) in
+  let aig = Aig.Opt.balance (Aig.of_covers ~ni:(Pla.Spec.ni spec) covers) in
+  let lib = Techmap.Stdcell.default_library () in
+  let nl = Techmap.Mapper.map ~mode:Techmap.Mapper.Area ~lib aig in
+  Printf.printf "test4 mapped: %d cells\n" (Netlist.gate_count nl);
+
+  (* How many cells have unreachable local input patterns? *)
+  let masks = Decompose.local_patterns nl in
+  let with_dc = ref 0 and cells = ref 0 in
+  Netlist.iter_nodes nl (fun id g _ ->
+      match g with
+      | Netlist.Gate.Cell c ->
+          incr cells;
+          let full = (1 lsl (1 lsl c.Netlist.Gate.arity)) - 1 in
+          if masks.(id) <> full then incr with_dc
+      | _ -> ());
+  Printf.printf "cells with satisfiability DCs: %d of %d\n" !with_dc !cells;
+
+  let before = Decompose.internal_error_rate nl in
+  let nl' = Decompose.reassign ~threshold:0.65 nl in
+  let after = Decompose.internal_error_rate nl' in
+
+  (* The rewrite must be invisible at the outputs. *)
+  let t = Netlist.output_tables nl and t' = Netlist.output_tables nl' in
+  assert (Array.for_all2 Bitvec.Bv.equal t t');
+  Printf.printf "I/O behaviour unchanged: verified exhaustively\n";
+
+  Printf.printf "internal single-flip error rate: %.4f -> %.4f (%.1f%%)\n"
+    before after
+    (100.0 *. (before -. after) /. before)

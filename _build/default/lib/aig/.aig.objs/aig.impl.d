@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Aig_core Cut Opt

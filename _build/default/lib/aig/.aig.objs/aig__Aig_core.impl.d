@@ -1,0 +1,1 @@
+lib/aig/aig_core.ml: Array Bitvec Hashtbl Lazy List Netlist Twolevel

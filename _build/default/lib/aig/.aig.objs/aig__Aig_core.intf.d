@@ -1,0 +1,1 @@
+lib/aig/aig_core.mli: Netlist Twolevel

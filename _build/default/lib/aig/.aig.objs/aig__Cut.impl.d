@@ -1,0 +1,1 @@
+lib/aig/cut.ml: Aig_core Array List Logic

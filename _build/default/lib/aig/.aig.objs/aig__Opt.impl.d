@@ -1,0 +1,1 @@
+lib/aig/opt.ml: Aig_core Array Bdd Hashtbl List

@@ -1,0 +1,3 @@
+include Aig_core
+module Cut = Cut
+module Opt = Opt

@@ -1,0 +1,240 @@
+type lit = int
+
+type t = {
+  ni : int;
+  mutable f0 : int array; (* fanin literals of AND nodes, by id *)
+  mutable f1 : int array;
+  mutable next : int;
+  strash : (int * int, int) Hashtbl.t;
+  mutable outs : lit array;
+}
+
+let const0 : lit = 0
+let const1 : lit = 1
+let lnot (l : lit) = l lxor 1
+let is_complemented (l : lit) = l land 1 = 1
+let node_of (l : lit) = l lsr 1
+
+let create ~ni =
+  if ni < 0 then invalid_arg "Aig.create";
+  let cap = max 16 (2 * (ni + 1)) in
+  {
+    ni;
+    f0 = Array.make cap (-1);
+    f1 = Array.make cap (-1);
+    next = ni + 1;
+    strash = Hashtbl.create 256;
+    outs = [||];
+  }
+
+let ni t = t.ni
+
+let input t i =
+  if i < 0 || i >= t.ni then invalid_arg "Aig.input: out of range";
+  2 * (i + 1)
+
+let is_input t id = id >= 1 && id <= t.ni
+let is_and t id = id > t.ni && id < t.next
+
+let grow t =
+  if t.next >= Array.length t.f0 then begin
+    let cap = Array.length t.f0 in
+    let ext a = Array.append a (Array.make cap (-1)) in
+    t.f0 <- ext t.f0;
+    t.f1 <- ext t.f1
+  end
+
+let land_ t a b =
+  (* Constant folding and trivial cases. *)
+  if a = const0 || b = const0 then const0
+  else if a = const1 then b
+  else if b = const1 then a
+  else if a = b then a
+  else if a = lnot b then const0
+  else begin
+    let a, b = if a <= b then (a, b) else (b, a) in
+    match Hashtbl.find_opt t.strash (a, b) with
+    | Some id -> 2 * id
+    | None ->
+        grow t;
+        let id = t.next in
+        t.next <- id + 1;
+        t.f0.(id) <- a;
+        t.f1.(id) <- b;
+        Hashtbl.add t.strash (a, b) id;
+        2 * id
+  end
+
+let lor_ t a b = lnot (land_ t (lnot a) (lnot b))
+
+let lxor_ t a b =
+  (* a xor b = (a & !b) | (!a & b) *)
+  lor_ t (land_ t a (lnot b)) (land_ t (lnot a) b)
+
+let lmux t ~sel ~th ~el = lor_ t (land_ t sel th) (land_ t (lnot sel) el)
+
+let set_outputs t lits =
+  Array.iter
+    (fun l ->
+      let id = node_of l in
+      if id < 0 || id >= t.next then invalid_arg "Aig.set_outputs: bad literal")
+    lits;
+  t.outs <- Array.copy lits
+
+let outputs t = Array.copy t.outs
+let no t = Array.length t.outs
+
+let fanins t id =
+  if not (is_and t id) then invalid_arg "Aig.fanins: not an AND node";
+  (t.f0.(id), t.f1.(id))
+
+let num_ands t = t.next - t.ni - 1
+let num_nodes t = t.next
+
+let levels t =
+  let lv = Array.make t.next 0 in
+  for id = t.ni + 1 to t.next - 1 do
+    lv.(id) <- 1 + max lv.(node_of t.f0.(id)) lv.(node_of t.f1.(id))
+  done;
+  lv
+
+let level t id =
+  if id < 0 || id >= t.next then invalid_arg "Aig.level";
+  (levels t).(id)
+
+let depth t =
+  let lv = levels t in
+  Array.fold_left (fun acc l -> max acc lv.(node_of l)) 0 t.outs
+
+let iter_ands t f =
+  for id = t.ni + 1 to t.next - 1 do
+    f id t.f0.(id) t.f1.(id)
+  done
+
+let eval_lit values l =
+  let v = values.(node_of l) in
+  if is_complemented l then not v else v
+
+let eval_minterm_values t m =
+  let values = Array.make t.next false in
+  values.(0) <- false;
+  for i = 0 to t.ni - 1 do
+    values.(i + 1) <- m land (1 lsl i) <> 0
+  done;
+  for id = t.ni + 1 to t.next - 1 do
+    values.(id) <- eval_lit values t.f0.(id) && eval_lit values t.f1.(id)
+  done;
+  values
+
+let eval_minterm t m =
+  let values = eval_minterm_values t m in
+  Array.map (eval_lit values) t.outs
+
+let node_probs t =
+  if t.ni > 20 then invalid_arg "Aig.node_probs: ni too large";
+  let total = 1 lsl t.ni in
+  let ones = Array.make t.next 0 in
+  let words = Array.make t.next 0 in
+  let wlit l = if is_complemented l then lnot words.(node_of l) else words.(node_of l) in
+  let base = ref 0 in
+  while !base < total do
+    let chunk = min 63 (total - !base) in
+    words.(0) <- 0;
+    for i = 0 to t.ni - 1 do
+      let w = ref 0 in
+      for p = 0 to chunk - 1 do
+        if (!base + p) land (1 lsl i) <> 0 then w := !w lor (1 lsl p)
+      done;
+      words.(i + 1) <- !w
+    done;
+    for id = t.ni + 1 to t.next - 1 do
+      words.(id) <- wlit t.f0.(id) land wlit t.f1.(id)
+    done;
+    let mask = (1 lsl chunk) - 1 in
+    for id = 0 to t.next - 1 do
+      ones.(id) <- ones.(id) + Bitvec.Minterm.popcount (words.(id) land mask)
+    done;
+    base := !base + chunk
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int total) ones
+
+let to_netlist t =
+  let nl = Netlist.create ~ni:t.ni in
+  (* positive polarity node id in the netlist, per AIG node *)
+  let pos = Array.make t.next (-1) in
+  (* memoised inverter per AIG node *)
+  let neg = Array.make t.next (-1) in
+  let const0_id = lazy (Netlist.add nl (Netlist.Gate.Const false) [||]) in
+  let const1_id = lazy (Netlist.add nl (Netlist.Gate.Const true) [||]) in
+  for i = 0 to t.ni - 1 do
+    pos.(i + 1) <- i
+  done;
+  let net_of_lit l =
+    let id = node_of l in
+    if id = 0 then
+      if is_complemented l then Lazy.force const1_id else Lazy.force const0_id
+    else if is_complemented l then begin
+      if neg.(id) < 0 then
+        neg.(id) <- Netlist.add nl Netlist.Gate.Not [| pos.(id) |];
+      neg.(id)
+    end
+    else pos.(id)
+  in
+  iter_ands t (fun id a b ->
+      let na = net_of_lit a in
+      let nb = net_of_lit b in
+      pos.(id) <- Netlist.add nl Netlist.Gate.And [| na; nb |]);
+  let outs = Array.map net_of_lit t.outs in
+  Netlist.set_outputs nl outs;
+  nl
+
+(* Balanced combination of a literal list under a binary operation. *)
+let rec balanced_combine op neutral = function
+  | [] -> neutral
+  | [ l ] -> l
+  | lits ->
+      let rec pair = function
+        | [] -> []
+        | [ x ] -> [ x ]
+        | x :: y :: rest -> op x y :: pair rest
+      in
+      balanced_combine op neutral (pair lits)
+
+let of_covers ~ni covers =
+  let t = create ~ni in
+  let lit_of_cube c =
+    let lits = ref [] in
+    for j = 0 to ni - 1 do
+      match Twolevel.Cube.get c j with
+      | Twolevel.Cube.Zero -> lits := lnot (input t j) :: !lits
+      | Twolevel.Cube.One -> lits := input t j :: !lits
+      | Twolevel.Cube.Free -> ()
+    done;
+    balanced_combine (land_ t) const1 (List.rev !lits)
+  in
+  let outs =
+    List.map
+      (fun cover ->
+        if Twolevel.Cover.n cover <> ni then
+          invalid_arg "Aig.of_covers: arity mismatch";
+        let cube_lits = List.map lit_of_cube (Twolevel.Cover.cubes cover) in
+        balanced_combine (lor_ t) const0 cube_lits)
+      covers
+  in
+  set_outputs t (Array.of_list outs);
+  t
+
+let of_factored ~ni exprs =
+  let t = create ~ni in
+  let rec lower = function
+    | Twolevel.Factor.Const b -> if b then const1 else const0
+    | Twolevel.Factor.Lit (j, neg) ->
+        let l = input t j in
+        if neg then lnot l else l
+    | Twolevel.Factor.And es ->
+        balanced_combine (land_ t) const1 (List.map lower es)
+    | Twolevel.Factor.Or es ->
+        balanced_combine (lor_ t) const0 (List.map lower es)
+  in
+  set_outputs t (Array.of_list (List.map lower exprs));
+  t

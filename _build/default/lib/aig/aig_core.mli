@@ -1,0 +1,105 @@
+(** And-inverter graphs with structural hashing.
+
+    The multi-level synthesis substrate (the role ABC plays for the
+    paper).  Nodes are 2-input ANDs; edges carry an optional
+    complement.  A {e literal} packs (node id, complement) as
+    [2*id + c].  Node 0 is the constant-0 function, so literal 0 is
+    constant 0 and literal 1 constant 1.  Inputs occupy ids
+    [1 .. ni].  Structural hashing with constant folding and
+    commutative normalisation runs on every {!land_}. *)
+
+type t
+
+type lit = int
+
+(** [create ~ni] makes an AIG with [ni] primary inputs. *)
+val create : ni:int -> t
+
+val ni : t -> int
+
+(** [const0] and [const1] literals. *)
+val const0 : lit
+
+val const1 : lit
+
+(** [input t i] is the literal of input [i] (0-based). *)
+val input : t -> int -> lit
+
+(** [lnot l] complements a literal (no node is created). *)
+val lnot : lit -> lit
+
+(** [is_complemented l] and [node_of l] destructure a literal. *)
+val is_complemented : lit -> bool
+
+val node_of : lit -> int
+
+(** [land_ t a b] is the AND of two literals (hash-consed).
+    [lor_], [lxor_], [lmux t ~sel ~th ~el] derive from it. *)
+val land_ : t -> lit -> lit -> lit
+
+val lor_ : t -> lit -> lit -> lit
+
+val lxor_ : t -> lit -> lit -> lit
+
+val lmux : t -> sel:lit -> th:lit -> el:lit -> lit
+
+(** [set_outputs t lits] / [outputs t] manage primary outputs. *)
+val set_outputs : t -> lit array -> unit
+
+val outputs : t -> lit array
+
+val no : t -> int
+
+(** [fanins t id] is the literal pair of AND node [id].
+    @raise Invalid_argument for constants or inputs. *)
+val fanins : t -> int -> lit * lit
+
+(** [is_and t id], [is_input t id] classify a node id. *)
+val is_and : t -> int -> bool
+
+val is_input : t -> int -> bool
+
+(** [num_ands t] counts AND nodes; [num_nodes t] includes const and
+    inputs. *)
+val num_ands : t -> int
+
+val num_nodes : t -> int
+
+(** [level t id] is the AND-depth of node [id]; [depth t] the maximum
+    over output cones. *)
+val level : t -> int -> int
+
+val depth : t -> int
+
+(** [iter_ands t f] visits AND nodes in topological (id) order. *)
+val iter_ands : t -> (int -> lit -> lit -> unit) -> unit
+
+(** [eval_lit t values l] evaluates literal [l] given per-node boolean
+    values (as filled by {!eval_minterm_values}). *)
+val eval_lit : bool array -> lit -> bool
+
+(** [eval_minterm_values t m] computes every node's value on input
+    minterm [m]. *)
+val eval_minterm_values : t -> int -> bool array
+
+(** [eval_minterm t m] is the output vector on minterm [m]. *)
+val eval_minterm : t -> int -> bool array
+
+(** [node_probs t] is the exact signal probability of each node under
+    uniform inputs, by exhaustive word-parallel simulation
+    ([ni <= 20]). *)
+val node_probs : t -> float array
+
+(** [to_netlist t] lowers to a {!Netlist.t} of AND2/NOT/BUF/CONST
+    gates, memoising inverters per driver. *)
+val to_netlist : t -> Netlist.t
+
+(** [of_covers ~ni covers] builds an AIG computing one output per
+    cover (balanced AND trees per cube, balanced OR tree per output).
+    Sharing happens through structural hashing. *)
+val of_covers : ni:int -> Twolevel.Cover.t list -> t
+
+(** [of_factored ~ni exprs] builds an AIG from factored expressions
+    (one output per expression); sharing again comes from structural
+    hashing.  Compare with {!of_covers} on flat forms. *)
+val of_factored : ni:int -> Twolevel.Factor.expr list -> t

@@ -1,0 +1,108 @@
+module Truth = Logic.Truth
+
+type cut = { leaves : int array; tt : Logic.Truth.t }
+
+(* Merge two sorted id arrays; None if the union exceeds k. *)
+let merge_leaves k a b =
+  let la = Array.length a and lb = Array.length b in
+  let buf = Array.make (la + lb) 0 in
+  let rec go i j n =
+    if n > k then None
+    else if i >= la && j >= lb then Some (Array.sub buf 0 n)
+    else if i >= la then begin
+      buf.(n) <- b.(j);
+      go i (j + 1) (n + 1)
+    end
+    else if j >= lb then begin
+      buf.(n) <- a.(i);
+      go (i + 1) j (n + 1)
+    end
+    else if a.(i) = b.(j) then begin
+      buf.(n) <- a.(i);
+      go (i + 1) (j + 1) (n + 1)
+    end
+    else if a.(i) < b.(j) then begin
+      buf.(n) <- a.(i);
+      go (i + 1) j (n + 1)
+    end
+    else begin
+      buf.(n) <- b.(j);
+      go i (j + 1) (n + 1)
+    end
+  in
+  go 0 0 0
+
+(* Re-express [tt] over [sub] leaves as a table over [merged] leaves. *)
+let lift tt sub merged =
+  let k = Array.length merged in
+  let pos_of id =
+    let rec find i = if merged.(i) = id then i else find (i + 1) in
+    find 0
+  in
+  let positions = Array.map pos_of sub in
+  Truth.of_fun k (fun idx ->
+      let sub_idx = ref 0 in
+      Array.iteri
+        (fun si p -> if idx land (1 lsl p) <> 0 then sub_idx := !sub_idx lor (1 lsl si))
+        positions;
+      Truth.eval tt !sub_idx)
+
+let trivial id = { leaves = [| id |]; tt = Truth.var 1 0 }
+
+let same_leaves a b = a.leaves = b.leaves
+
+let enumerate t ~k ~max_cuts =
+  if k < 2 || k > 4 then invalid_arg "Cut.enumerate: k must be in [2,4]";
+  let n = Aig_core.num_nodes t in
+  let cuts = Array.make n [] in
+  for i = 1 to Aig_core.ni t do
+    cuts.(i) <- [ trivial i ]
+  done;
+  Aig_core.iter_ands t (fun id a b ->
+      let na = Aig_core.node_of a and nb = Aig_core.node_of b in
+      let ca = Aig_core.is_complemented a and cb = Aig_core.is_complemented b in
+      let merged =
+        List.concat_map
+          (fun cut_a ->
+            List.filter_map
+              (fun cut_b ->
+                match merge_leaves k cut_a.leaves cut_b.leaves with
+                | None -> None
+                | Some leaves ->
+                    let ta = lift cut_a.tt cut_a.leaves leaves in
+                    let tb = lift cut_b.tt cut_b.leaves leaves in
+                    let kk = Array.length leaves in
+                    let ta = if ca then Truth.tnot kk ta else ta in
+                    let tb = if cb then Truth.tnot kk tb else tb in
+                    Some { leaves; tt = Truth.tand ta tb })
+              cuts.(nb))
+          cuts.(na)
+      in
+      (* Dedup by leaf set, prefer small cuts, cap the list, and always
+         keep the trivial cut available for the mapper's fallback. *)
+      let dedup =
+        List.fold_left
+          (fun acc c -> if List.exists (same_leaves c) acc then acc else c :: acc)
+          [] merged
+        |> List.rev
+      in
+      let sorted =
+        List.sort
+          (fun c1 c2 -> compare (Array.length c1.leaves) (Array.length c2.leaves))
+          dedup
+      in
+      let rec take i = function
+        | [] -> []
+        | _ when i >= max_cuts -> []
+        | c :: rest -> c :: take (i + 1) rest
+      in
+      cuts.(id) <- take 0 sorted @ [ trivial id ]);
+  cuts
+
+let consistent_on t ~node cut ~minterm =
+  let values = Aig_core.eval_minterm_values t minterm in
+  let idx = ref 0 in
+  Array.iteri
+    (fun p leaf -> if values.(leaf) then idx := !idx lor (1 lsl p))
+    cut.leaves;
+  Truth.eval cut.tt !idx = values.(node)

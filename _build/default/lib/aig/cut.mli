@@ -1,0 +1,25 @@
+(** K-feasible cut enumeration with cut functions.
+
+    A cut of node [n] is a set of nodes ("leaves") such that every
+    path from the inputs to [n] passes through a leaf; the cut
+    function expresses [n] in terms of its leaves.  The technology
+    mapper matches cut functions against the cell library. *)
+
+type cut = {
+  leaves : int array;  (** sorted AIG node ids *)
+  tt : Logic.Truth.t;  (** function of the node over the leaves *)
+}
+
+(** [enumerate t ~k ~max_cuts] computes up to [max_cuts] cuts of at
+    most [k] leaves for every node (indexed by node id).  Every
+    AND node's list contains at least its structural 2-cut and its
+    trivial cut; input nodes have just the trivial cut.
+    @raise Invalid_argument if [k < 2 || k > 4]. *)
+val enumerate : Aig_core.t -> k:int -> max_cuts:int -> cut list array
+
+(** [consistent_on t ~node cut ~minterm] checks the property mapping
+    relies on: on the leaf values produced by input [minterm], the cut
+    function evaluates to the node's value.  (On *inconsistent* leaf
+    combinations — possible when merged cuts share logic — the table
+    is unconstrained.) *)
+val consistent_on : Aig_core.t -> node:int -> cut -> minterm:int -> bool

@@ -1,0 +1,427 @@
+type t = int
+(* Node handles index into the manager's node arrays.  Handle 0 is the
+   0-terminal, handle 1 the 1-terminal. *)
+
+type man = {
+  nvars : int;
+  mutable var_of : int array; (* variable index per node; terminals: nvars *)
+  mutable low_of : int array;
+  mutable high_of : int array;
+  mutable next : int; (* next free slot *)
+  unique : (int * int * int, int) Hashtbl.t; (* (var,low,high) -> node *)
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let make_man ~nvars =
+  if nvars < 0 then invalid_arg "Bdd.make_man";
+  let cap = 1024 in
+  let m =
+    {
+      nvars;
+      var_of = Array.make cap 0;
+      low_of = Array.make cap 0;
+      high_of = Array.make cap 0;
+      next = 2;
+      unique = Hashtbl.create 1024;
+      ite_cache = Hashtbl.create 1024;
+    }
+  in
+  (* Terminals sit below every variable: give them variable index
+     [nvars] so the "top variable" comparisons are uniform. *)
+  m.var_of.(0) <- nvars;
+  m.var_of.(1) <- nvars;
+  m.low_of.(0) <- 0;
+  m.high_of.(0) <- 0;
+  m.low_of.(1) <- 1;
+  m.high_of.(1) <- 1;
+  m
+
+let nvars m = m.nvars
+let zero _ = 0
+let one _ = 1
+let is_zero _ f = f = 0
+let is_one _ f = f = 1
+let equal (a : t) (b : t) = a = b
+
+let grow m =
+  let cap = Array.length m.var_of in
+  if m.next >= cap then begin
+    let ncap = cap * 2 in
+    let extend a = Array.append a (Array.make cap 0) in
+    m.var_of <- extend m.var_of;
+    m.low_of <- extend m.low_of;
+    m.high_of <- extend m.high_of;
+    ignore ncap
+  end
+
+let mk m v low high =
+  if low = high then low
+  else
+    let key = (v, low, high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+        grow m;
+        let n = m.next in
+        m.next <- n + 1;
+        m.var_of.(n) <- v;
+        m.low_of.(n) <- low;
+        m.high_of.(n) <- high;
+        Hashtbl.add m.unique key n;
+        n
+
+let var m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.var: out of range";
+  mk m i 0 1
+
+let nvar m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.nvar: out of range";
+  mk m i 1 0
+
+(* Top variable of up to three nodes. *)
+let top2 m a b = min m.var_of.(a) m.var_of.(b)
+let top3 m a b c = min m.var_of.(a) (top2 m b c)
+
+let cof m f v ~value =
+  if m.var_of.(f) = v then if value then m.high_of.(f) else m.low_of.(f)
+  else f
+
+let rec ite m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+        let v = top3 m f g h in
+        let r0 =
+          ite m (cof m f v ~value:false) (cof m g v ~value:false)
+            (cof m h v ~value:false)
+        in
+        let r1 =
+          ite m (cof m f v ~value:true) (cof m g v ~value:true)
+            (cof m h v ~value:true)
+        in
+        let r = mk m v r0 r1 in
+        Hashtbl.add m.ite_cache key r;
+        r
+
+let bnot m f = ite m f 0 1
+let band m a b = ite m a b 0
+let bor m a b = ite m a 1 b
+let bxor m a b = ite m a (ite m b 0 1) b
+
+let rec restrict m f ~var:v ~value =
+  if m.var_of.(f) > v then f
+  else if m.var_of.(f) = v then if value then m.high_of.(f) else m.low_of.(f)
+  else
+    let fv = m.var_of.(f) in
+    mk m fv
+      (restrict m m.low_of.(f) ~var:v ~value)
+      (restrict m m.high_of.(f) ~var:v ~value)
+
+let exists m vars f =
+  List.fold_left
+    (fun f v ->
+      bor m (restrict m f ~var:v ~value:false) (restrict m f ~var:v ~value:true))
+    f vars
+
+let forall m vars f =
+  List.fold_left
+    (fun f v ->
+      band m
+        (restrict m f ~var:v ~value:false)
+        (restrict m f ~var:v ~value:true))
+    f vars
+
+let rec eval m f assignment =
+  if f <= 1 then f = 1
+  else
+    let v = m.var_of.(f) in
+    eval m
+      (if assignment v then m.high_of.(f) else m.low_of.(f))
+      assignment
+
+let eval_minterm m f mt = eval m f (fun i -> mt land (1 lsl i) <> 0)
+
+let satcount_float m f =
+  let memo = Hashtbl.create 64 in
+  (* Count over the variables below (>=) a node's level; scale at top. *)
+  let rec go f =
+    if f = 0 then 0.0
+    else if f = 1 then 1.0
+    else
+      match Hashtbl.find_opt memo f with
+      | Some c -> c
+      | None ->
+          let v = m.var_of.(f) in
+          let weight child =
+            let cv = m.var_of.(child) in
+            go child *. (2.0 ** float_of_int (cv - v - 1))
+          in
+          let c = weight m.low_of.(f) +. weight m.high_of.(f) in
+          Hashtbl.add memo f c;
+          c
+  in
+  let v = m.var_of.(f) in
+  (2.0 ** float_of_int v) *. go f
+
+let satcount m f = int_of_float (satcount_float m f +. 0.5)
+
+let iter_minterms m f g =
+  if m.nvars > 24 then invalid_arg "Bdd.iter_minterms: nvars too large";
+  for mt = 0 to (1 lsl m.nvars) - 1 do
+    if eval_minterm m f mt then g mt
+  done
+
+let any_sat m f =
+  if f = 0 then None
+  else
+    let rec go f acc =
+      if f = 1 then acc
+      else
+        let v = m.var_of.(f) in
+        if m.high_of.(f) <> 0 then go m.high_of.(f) (acc lor (1 lsl v))
+        else go m.low_of.(f) acc
+    in
+    Some (go f 0)
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if f > 1 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      go m.low_of.(f);
+      go m.high_of.(f)
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let support m f =
+  let vars = Hashtbl.create 16 in
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if f > 1 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      Hashtbl.replace vars m.var_of.(f) ();
+      go m.low_of.(f);
+      go m.high_of.(f)
+    end
+  in
+  go f;
+  Hashtbl.fold (fun v () acc -> v :: acc) vars [] |> List.sort compare
+
+let of_cube m cube =
+  let rec go i acc =
+    if i >= m.nvars then acc
+    else
+      let lit =
+        match Twolevel.Cube.get cube i with
+        | Twolevel.Cube.Zero -> nvar m i
+        | Twolevel.Cube.One -> var m i
+        | Twolevel.Cube.Free -> 1
+      in
+      go (i + 1) (band m acc lit)
+  in
+  go 0 1
+
+let of_cover m cover =
+  if Twolevel.Cover.n cover <> m.nvars then
+    invalid_arg "Bdd.of_cover: arity mismatch";
+  List.fold_left
+    (fun acc c -> bor m acc (of_cube m c))
+    0
+    (Twolevel.Cover.cubes cover)
+
+let of_bv m bv =
+  if Bitvec.Bv.length bv <> 1 lsl m.nvars then
+    invalid_arg "Bdd.of_bv: length mismatch";
+  (* Variable 0 (the root of our order) is bit 0 of the minterm index,
+     so the 0/1 branches of variable v are index strides of 2^v. *)
+  let rec go v stride base =
+    if v = m.nvars then if Bitvec.Bv.get bv base then 1 else 0
+    else
+      let f0 = go (v + 1) (stride * 2) base in
+      let f1 = go (v + 1) (stride * 2) (base + stride) in
+      mk m v f0 f1
+  in
+  go 0 1 0
+
+let to_bv m f =
+  if m.nvars > 24 then invalid_arg "Bdd.to_bv: nvars too large";
+  let bv = Bitvec.Bv.create (1 lsl m.nvars) in
+  iter_minterms m f (Bitvec.Bv.set bv);
+  bv
+
+let to_cover m f =
+  let cubes = ref [] in
+  let rec go f cube =
+    if f = 1 then cubes := cube :: !cubes
+    else if f = 0 then ()
+    else begin
+      let v = m.var_of.(f) in
+      go m.low_of.(f) (Twolevel.Cube.set cube v Twolevel.Cube.Zero);
+      go m.high_of.(f) (Twolevel.Cube.set cube v Twolevel.Cube.One)
+    end
+  in
+  go f (Twolevel.Cube.full ~n:m.nvars);
+  Twolevel.Cover.make ~n:m.nvars (List.rev !cubes)
+
+let node_count m = m.next - 2
+
+let clear_caches m = Hashtbl.reset m.ite_cache
+
+let flip_var m f i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.flip_var: out of range";
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    let v = m.var_of.(f) in
+    if v > i then f (* below variable i in the order: independent *)
+    else if v = i then mk m i m.high_of.(f) m.low_of.(f)
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+          let r = mk m v (go m.low_of.(f)) (go m.high_of.(f)) in
+          Hashtbl.add memo f r;
+          r
+  in
+  go f
+
+let size_many m roots =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if f > 1 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      go m.low_of.(f);
+      go m.high_of.(f)
+    end
+  in
+  List.iter go roots;
+  Hashtbl.length seen
+
+let is_permutation n order =
+  Array.length order = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then false
+      else begin
+        seen.(v) <- true;
+        true
+      end)
+    order
+
+let convert_with_order m roots ~order =
+  if not (is_permutation m.nvars order) then
+    invalid_arg "Bdd.convert_with_order: not a permutation";
+  let dst = make_man ~nvars:m.nvars in
+  (* new level of an original variable *)
+  let level_of = Array.make m.nvars 0 in
+  Array.iteri (fun p v -> level_of.(v) <- p) order;
+  let memo = Hashtbl.create 256 in
+  let rec conv f =
+    if f <= 1 then f
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+          let v = m.var_of.(f) in
+          let lo = conv m.low_of.(f) in
+          let hi = conv m.high_of.(f) in
+          let r = ite dst (var dst level_of.(v)) hi lo in
+          Hashtbl.add memo f r;
+          r
+  in
+  let roots' = List.map conv roots in
+  (dst, roots')
+
+let eval_reordered m root ~order mt =
+  eval m root (fun level -> mt land (1 lsl order.(level)) <> 0)
+
+let sift m roots =
+  let n = m.nvars in
+  let try_order order =
+    let dst, roots' = convert_with_order m roots ~order in
+    (size_many dst roots', dst, roots')
+  in
+  let current = ref (Array.init n (fun i -> i)) in
+  let best_size = ref (size_many m roots) in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < 3 do
+    improved := false;
+    incr passes;
+    for v = 0 to n - 1 do
+      (* try variable v at every position, keep the best *)
+      let base = Array.copy !current in
+      let pos_of_v =
+        let p = ref 0 in
+        Array.iteri (fun i x -> if x = v then p := i) base;
+        !p
+      in
+      let without = Array.of_list (List.filter (( <> ) v) (Array.to_list base)) in
+      for p = 0 to n - 1 do
+        if p <> pos_of_v then begin
+          let cand = Array.make n 0 in
+          for i = 0 to n - 2 do
+            cand.(if i < p then i else i + 1) <- without.(i)
+          done;
+          cand.(p) <- v;
+          let sz, _, _ = try_order cand in
+          if sz < !best_size then begin
+            best_size := sz;
+            current := cand;
+            improved := true
+          end
+        end
+      done
+    done
+  done;
+  let dst, roots' = convert_with_order m roots ~order:!current in
+  (dst, roots', !current)
+
+let isop m ~lower ~upper =
+  if band m lower (bnot m upper) <> 0 then
+    invalid_arg "Bdd.isop: lower not contained in upper";
+  let memo = Hashtbl.create 256 in
+  (* returns (cubes, bdd of the cover); cubes as Twolevel cubes *)
+  let rec go l u =
+    if l = 0 then ([], 0)
+    else if u = 1 then ([ Twolevel.Cube.full ~n:m.nvars ], 1)
+    else
+      match Hashtbl.find_opt memo (l, u) with
+      | Some r -> r
+      | None ->
+          let v = top2 m l u in
+          let l0 = cof m l v ~value:false and l1 = cof m l v ~value:true in
+          let u0 = cof m u v ~value:false and u1 = cof m u v ~value:true in
+          (* cubes that must contain the literal !v / v *)
+          let c0, f0 = go (band m l0 (bnot m u1)) u0 in
+          let c1, f1 = go (band m l1 (bnot m u0)) u1 in
+          (* what remains to cover, variable v free *)
+          let ld =
+            bor m (band m l0 (bnot m f0)) (band m l1 (bnot m f1))
+          in
+          let cd, fd = go ld (band m u0 u1) in
+          let xv = var m v and nxv = nvar m v in
+          let cover_bdd =
+            bor m fd (bor m (band m nxv f0) (band m xv f1))
+          in
+          let set_lit lit cube = Twolevel.Cube.set cube v lit in
+          let cubes =
+            List.map (set_lit Twolevel.Cube.Zero) c0
+            @ List.map (set_lit Twolevel.Cube.One) c1
+            @ cd
+          in
+          let r = (cubes, cover_bdd) in
+          Hashtbl.add memo (l, u) r;
+          r
+  in
+  let cubes, f = go lower upper in
+  (Twolevel.Cover.make ~n:m.nvars cubes, f)

@@ -1,0 +1,171 @@
+(** Reduced ordered binary decision diagrams.
+
+    A from-scratch substitute for the CUDD package the paper used to
+    maintain and manipulate on-, off- and DC-sets.  Nodes are
+    hash-consed into a manager's unique table, so semantic equality of
+    functions built in the same manager is physical equality of
+    handles ({!equal}).  The variable order is fixed (index order);
+    dynamic reordering is not needed at the paper's problem sizes.
+
+    Handles are only meaningful with the manager that created them;
+    mixing managers raises [Invalid_argument] where detectable. *)
+
+type man
+(** A BDD manager: unique table, operation caches, variable count. *)
+
+type t
+(** A BDD handle (a function over the manager's variables). *)
+
+(** [make_man ~nvars] creates a manager for variables [0 .. nvars-1].
+    @raise Invalid_argument if [nvars < 0]. *)
+val make_man : nvars:int -> man
+
+(** [nvars man] is the number of variables. *)
+val nvars : man -> int
+
+(** Constants and variables. *)
+
+val zero : man -> t
+
+val one : man -> t
+
+(** [var man i] is the function "variable [i]".
+    @raise Invalid_argument if [i] is out of range. *)
+val var : man -> int -> t
+
+(** [nvar man i] is the complement of variable [i]. *)
+val nvar : man -> int -> t
+
+(** Connectives. *)
+
+val bnot : man -> t -> t
+
+val band : man -> t -> t -> t
+
+val bor : man -> t -> t -> t
+
+val bxor : man -> t -> t -> t
+
+val ite : man -> t -> t -> t -> t
+
+(** [equal a b] — semantic equality (hash-consing makes it O(1)). *)
+val equal : t -> t -> bool
+
+val is_zero : man -> t -> bool
+
+val is_one : man -> t -> bool
+
+(** [restrict man f ~var ~value] is the cofactor of [f]. *)
+val restrict : man -> t -> var:int -> value:bool -> t
+
+(** [exists man vars f] existentially quantifies the listed variables. *)
+val exists : man -> int list -> t -> t
+
+(** [forall man vars f] universally quantifies the listed variables. *)
+val forall : man -> int list -> t -> t
+
+(** [eval man f assignment] evaluates [f]; [assignment i] gives the
+    value of variable [i]. *)
+val eval : man -> t -> (int -> bool) -> bool
+
+(** [eval_minterm man f m] evaluates on the minterm encoding [m]
+    (bit [i] of [m] = variable [i]). *)
+val eval_minterm : man -> t -> int -> bool
+
+(** [satcount man f] is the number of satisfying assignments over all
+    [nvars] variables. *)
+val satcount : man -> t -> int
+
+(** [iter_minterms man f g] applies [g] to every satisfying minterm
+    encoding, in increasing order.  Exponential in [nvars]; intended
+    for the dense regime the paper works in. *)
+val iter_minterms : man -> t -> (int -> unit) -> unit
+
+(** [any_sat man f] is a satisfying minterm, or [None] for [zero]. *)
+val any_sat : man -> t -> int option
+
+(** [size man f] is the number of distinct internal nodes of [f]
+    (terminals excluded). *)
+val size : man -> t -> int
+
+(** [support man f] is the ascending list of variables [f] depends on. *)
+val support : man -> t -> int list
+
+(** Conversions. *)
+
+(** [of_cover man cover] builds the BDD of a two-level cover. *)
+val of_cover : man -> Twolevel.Cover.t -> t
+
+(** [of_cube man cube] builds the BDD of a single cube. *)
+val of_cube : man -> Twolevel.Cube.t -> t
+
+(** [of_bv man bv] builds the BDD of a dense characteristic vector
+    (length must be [2^nvars]). *)
+val of_bv : man -> Bitvec.Bv.t -> t
+
+(** [to_bv man f] densely expands [f] (requires [nvars <= 24]). *)
+val to_bv : man -> t -> Bitvec.Bv.t
+
+(** [to_cover man f] extracts an (unminimised) cube cover of [f] by
+    enumerating BDD paths to the 1-terminal. *)
+val to_cover : man -> t -> Twolevel.Cover.t
+
+(** [node_count man] is the total number of live nodes in the manager,
+    a health metric for tests and benchmarks. *)
+val node_count : man -> int
+
+(** [clear_caches man] drops operation caches (unique table is kept). *)
+val clear_caches : man -> unit
+
+(** [flip_var man f i] is the function [x -> f (x with variable i
+    flipped)] — the symbolic form of the paper's 1-Hamming-distance
+    neighbour shift. *)
+val flip_var : man -> t -> int -> t
+
+(** [satcount_float man f] is {!satcount} without the integer
+    conversion, exact while counts fit the float mantissa (the
+    internal computation is float-based either way). *)
+val satcount_float : man -> t -> float
+
+(** {1 Variable reordering}
+
+    The manager's order is fixed (variable index = level), so
+    reordering rebuilds roots into a fresh manager with relabelled
+    variables.  [order.(p)] is the ORIGINAL variable sitting at level
+    [p] of the new manager: to evaluate a converted root on an
+    original minterm, route original variable [order.(p)] to new
+    variable [p] (see [eval_reordered]). *)
+
+(** [size_many man roots] counts distinct internal nodes across all
+    roots (shared nodes counted once). *)
+val size_many : man -> t list -> int
+
+(** [convert_with_order src roots ~order] rebuilds the roots in a new
+    manager where level [p] carries original variable [order.(p)].
+    @raise Invalid_argument if [order] is not a permutation. *)
+val convert_with_order : man -> t list -> order:int array -> man * t list
+
+(** [eval_reordered man' root ~order m] evaluates a converted root on
+    an original-variable minterm. *)
+val eval_reordered : man -> t -> order:int array -> int -> bool
+
+(** [sift man roots] greedily searches variable orders (each variable
+    tried at every position, best kept; repeated while improving,
+    bounded passes) to reduce {!size_many}.  Returns the new manager,
+    converted roots and the order found.  Worst-case
+    O(passes * nvars^2) rebuilds — a demonstration-grade reimplementation
+    of CUDD's sifting. *)
+val sift : man -> t list -> man * t list * int array
+
+(** {1 ISOP — irredundant sum-of-products extraction}
+
+    The Minato-Morreale algorithm: given an incompletely specified
+    function as the interval [lower, upper] (lower = on-set,
+    upper = on-set ∪ DC-set), produce an irredundant cube cover [c]
+    with [lower <= c <= upper], entirely symbolically.  Together with
+    {!module:Bdd} set manipulation this is the n > 20 synthesis path
+    (the dense espresso stays the workhorse below that). *)
+
+(** [isop man ~lower ~upper] is [(cover, cover_bdd)].
+    @raise Invalid_argument if [lower] is not contained in [upper]. *)
+val isop : man -> lower:t -> upper:t -> Twolevel.Cover.t * t

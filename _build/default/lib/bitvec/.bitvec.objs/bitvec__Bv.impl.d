@@ -1,0 +1,1 @@
+lib/bitvec/bv.ml: Array Format List Random

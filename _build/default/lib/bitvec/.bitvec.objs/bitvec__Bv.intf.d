@@ -1,0 +1,1 @@
+lib/bitvec/bv.mli: Format Random

@@ -1,0 +1,1 @@
+lib/bitvec/minterm.ml: List String

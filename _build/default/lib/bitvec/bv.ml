@@ -1,0 +1,134 @@
+type t = { len : int; words : int array }
+
+let bits_per_word = 63
+let word_of i = i / bits_per_word
+let bit_of i = i mod bits_per_word
+
+let nwords len = if len = 0 then 0 else word_of (len - 1) + 1
+
+let create len =
+  if len < 0 then invalid_arg "Bv.create: negative length";
+  { len; words = Array.make (nwords len) 0 }
+
+let length t = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Bv: index out of range"
+
+let get t i =
+  check t i;
+  t.words.(word_of i) land (1 lsl bit_of i) <> 0
+
+let set t i =
+  check t i;
+  t.words.(word_of i) <- t.words.(word_of i) lor (1 lsl bit_of i)
+
+let clear t i =
+  check t i;
+  t.words.(word_of i) <- t.words.(word_of i) land lnot (1 lsl bit_of i)
+
+let assign t i b = if b then set t i else clear t i
+
+let copy t = { len = t.len; words = Array.copy t.words }
+
+(* Mask of valid bits in the last word, so that [complement] and [fill]
+   never set padding bits (cardinal and equality depend on them being 0). *)
+let last_mask t =
+  let r = t.len mod bits_per_word in
+  if r = 0 then -1 (* OCaml ints are exactly 63 bits wide: all bits valid *)
+  else (1 lsl r) - 1
+
+let fill t b =
+  let v = if b then -1 else 0 in
+  Array.fill t.words 0 (Array.length t.words) v;
+  if b && Array.length t.words > 0 then begin
+    let last = Array.length t.words - 1 in
+    t.words.(last) <- t.words.(last) land last_mask t
+  end
+
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b = a.len = b.len && a.words = b.words
+
+let check_len a b =
+  if a.len <> b.len then invalid_arg "Bv: length mismatch"
+
+let map2 op a b =
+  check_len a b;
+  { len = a.len; words = Array.map2 op a.words b.words }
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let complement a =
+  let t = { len = a.len; words = Array.map lnot a.words } in
+  if Array.length t.words > 0 then begin
+    let last = Array.length t.words - 1 in
+    t.words.(last) <- t.words.(last) land last_mask t
+  end;
+  t
+
+let in_place op a b =
+  check_len a b;
+  Array.iteri (fun i w -> a.words.(i) <- op w b.words.(i)) a.words
+
+let union_in_place a b = in_place ( lor ) a b
+let inter_in_place a b = in_place ( land ) a b
+let diff_in_place a b = in_place (fun x y -> x land lnot y) a b
+
+let subset a b =
+  check_len a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let disjoint a b =
+  check_len a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let iter_set f t =
+  Array.iteri
+    (fun wi w ->
+      let rec go w =
+        if w <> 0 then begin
+          let b = w land -w in
+          let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+          f ((wi * bits_per_word) + log2 b 0);
+          go (w land (w - 1))
+        end
+      in
+      go w)
+    t.words
+
+let fold_set f t init =
+  let acc = ref init in
+  iter_set (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold_set (fun i acc -> i :: acc) t [])
+
+let of_list n l =
+  let t = create n in
+  List.iter (set t) l;
+  t
+
+let random ~rng n ~density =
+  let t = create n in
+  for i = 0 to n - 1 do
+    if Random.State.float rng 1.0 < density then set t i
+  done;
+  t
+
+let pp ppf t =
+  for i = 0 to t.len - 1 do
+    Format.pp_print_char ppf (if get t i then '1' else '0')
+  done

@@ -1,0 +1,83 @@
+(** Packed, fixed-length bit vectors.
+
+    A [Bv.t] is a mutable vector of [length t] booleans stored 63 per
+    [int].  It is the workhorse set representation for on-, off- and
+    DC-sets of dense function specifications: index [i] stands for the
+    minterm with binary encoding [i]. *)
+
+type t
+
+(** [create n] is a vector of [n] bits, all cleared.
+    @raise Invalid_argument if [n < 0]. *)
+val create : int -> t
+
+(** [length t] is the number of bits in [t]. *)
+val length : t -> int
+
+(** [get t i] is bit [i]. @raise Invalid_argument if out of range. *)
+val get : t -> int -> bool
+
+(** [set t i] sets bit [i] to one. *)
+val set : t -> int -> unit
+
+(** [clear t i] sets bit [i] to zero. *)
+val clear : t -> int -> unit
+
+(** [assign t i b] sets bit [i] to [b]. *)
+val assign : t -> int -> bool -> unit
+
+(** [copy t] is a fresh vector equal to [t]. *)
+val copy : t -> t
+
+(** [fill t b] sets every bit of [t] to [b]. *)
+val fill : t -> bool -> unit
+
+(** [cardinal t] is the number of set bits. *)
+val cardinal : t -> int
+
+(** [is_empty t] is [cardinal t = 0], computed without a full count. *)
+val is_empty : t -> bool
+
+(** [equal a b] tests equality of lengths and contents. *)
+val equal : t -> t -> bool
+
+(** Bitwise operations; all return fresh vectors.
+    @raise Invalid_argument on length mismatch. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+(** In-place variants storing the result in the first argument. *)
+
+val union_in_place : t -> t -> unit
+val inter_in_place : t -> t -> unit
+val diff_in_place : t -> t -> unit
+
+(** [subset a b] is [true] when every set bit of [a] is set in [b]. *)
+val subset : t -> t -> bool
+
+(** [disjoint a b] is [true] when [a] and [b] share no set bit. *)
+val disjoint : t -> t -> bool
+
+(** [iter_set f t] applies [f] to the index of every set bit, in
+    increasing order. *)
+val iter_set : (int -> unit) -> t -> unit
+
+(** [fold_set f t init] folds [f] over indices of set bits, increasing. *)
+val fold_set : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [to_list t] is the increasing list of set-bit indices. *)
+val to_list : t -> int list
+
+(** [of_list n l] is a vector of length [n] with exactly the indices of
+    [l] set. @raise Invalid_argument if an index is out of range. *)
+val of_list : int -> int list -> t
+
+(** [random ~rng n ~density] is a vector of [n] bits where each bit is
+    set independently with probability [density]. *)
+val random : rng:Random.State.t -> int -> density:float -> t
+
+(** [pp] prints as a 0/1 string, bit 0 leftmost. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+let space_size n =
+  if n < 0 || n > 61 then invalid_arg "Minterm.space_size";
+  1 lsl n
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
+let hamming a b = popcount (a lxor b)
+
+let neighbour m j = m lxor (1 lsl j)
+
+let neighbours ~n m = List.init n (fun j -> neighbour m j)
+
+let iter_neighbours ~n f m =
+  for j = 0 to n - 1 do
+    f j (neighbour m j)
+  done
+
+let bit m j = m land (1 lsl j) <> 0
+
+let of_bits bits =
+  let rec go i acc = function
+    | [] -> acc
+    | b :: rest -> go (i + 1) (if b then acc lor (1 lsl i) else acc) rest
+  in
+  go 0 0 bits
+
+let to_string ~n m =
+  String.init n (fun j -> if bit m j then '1' else '0')
+
+let of_string s =
+  let acc = ref 0 in
+  String.iteri
+    (fun j c ->
+      match c with
+      | '1' -> acc := !acc lor (1 lsl j)
+      | '0' -> ()
+      | _ -> invalid_arg "Minterm.of_string: expected 0/1")
+    s;
+  !acc
+
+let iter_space ~n f =
+  for m = 0 to space_size n - 1 do
+    f m
+  done
+
+let fold_space ~n f init =
+  let acc = ref init in
+  iter_space ~n (fun m -> acc := f m !acc);
+  !acc

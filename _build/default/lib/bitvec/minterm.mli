@@ -1,0 +1,47 @@
+(** Minterms as integer encodings of input vectors.
+
+    A minterm over [n] inputs is an [int] in [0, 2^n); bit [j] of the
+    integer is the value of input [x_j].  All of the paper's Hamming
+    distance machinery (neighbour enumeration, distance-1 tests) lives
+    here. *)
+
+(** [space_size n] is [2^n].  @raise Invalid_argument if [n < 0] or
+    [n] exceeds the representable range (61). *)
+val space_size : int -> int
+
+(** [popcount m] is the number of set bits of [m] ([m >= 0]). *)
+val popcount : int -> int
+
+(** [hamming a b] is the Hamming distance between the encodings. *)
+val hamming : int -> int -> int
+
+(** [neighbour m j] is [m] with input [j] flipped. *)
+val neighbour : int -> int -> int
+
+(** [neighbours ~n m] is the list of the [n] minterms at Hamming
+    distance 1 from [m], in increasing flipped-input order. *)
+val neighbours : n:int -> int -> int list
+
+(** [iter_neighbours ~n f m] applies [f j m'] for each input [j] and
+    distance-1 neighbour [m' = neighbour m j]. *)
+val iter_neighbours : n:int -> (int -> int -> unit) -> int -> unit
+
+(** [bit m j] is the value of input [j] in minterm [m]. *)
+val bit : int -> int -> bool
+
+(** [of_bits bits] encodes a vector given LSB-first as a bool list. *)
+val of_bits : bool list -> int
+
+(** [to_string ~n m] renders [m] as an [n]-character 0/1 string in
+    .pla column order: the leftmost character is input [x_0]. *)
+val to_string : n:int -> int -> string
+
+(** [of_string s] parses a 0/1 string in [to_string] ordering. *)
+val of_string : string -> int
+
+(** [iter_space ~n f] applies [f] to every minterm of the [n]-input
+    space in increasing order. *)
+val iter_space : n:int -> (int -> unit) -> unit
+
+(** [fold_space ~n f init] folds over the space in increasing order. *)
+val fold_space : n:int -> (int -> 'a -> 'a) -> 'a -> 'a

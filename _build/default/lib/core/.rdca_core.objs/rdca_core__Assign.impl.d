@@ -1,0 +1,1 @@
+lib/core/assign.ml: Espresso Float List Metrics Pla Twolevel

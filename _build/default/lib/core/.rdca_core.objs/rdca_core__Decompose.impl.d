@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Assign Bitvec Logic Netlist Pla

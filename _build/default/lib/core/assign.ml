@@ -1,0 +1,74 @@
+module Spec = Pla.Spec
+module Cover = Twolevel.Cover
+
+let ranking ~fraction spec =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Assign.ranking: fraction must be in [0,1]";
+  let out = Spec.copy spec in
+  for o = 0 to Spec.no spec - 1 do
+    let ranked = Metrics.dc_ranking spec ~o in
+    let take =
+      int_of_float (Float.round (fraction *. float_of_int (List.length ranked)))
+    in
+    List.iteri
+      (fun i (m, _w) ->
+        if i < take then
+          match Metrics.majority_phase spec ~o ~m with
+          | Some v -> Spec.assign_dc out ~o ~m v
+          | None -> () (* zero-weight minterms never enter the list *))
+      ranked
+  done;
+  out
+
+let by_complexity ~threshold spec =
+  let out = Spec.copy spec in
+  for o = 0 to Spec.no spec - 1 do
+    Spec.iter_dc spec ~o (fun m ->
+        if Metrics.local_complexity_factor spec ~o ~m < threshold then
+          let v =
+            match Metrics.majority_phase spec ~o ~m with
+            | Some v -> v
+            | None -> false (* Figure 7: else x <- 0 *)
+          in
+          Spec.assign_dc out ~o ~m v)
+  done;
+  out
+
+let complete spec = ranking ~fraction:1.0 spec
+
+let conventional spec =
+  let out = Spec.copy spec in
+  let ni = Spec.ni spec in
+  let covers =
+    List.init (Spec.no spec) (fun o ->
+        let on = Spec.on_bv spec ~o and dc = Spec.dc_bv spec ~o in
+        let cover = Espresso.Dense.minimize ~n:ni ~on ~dc in
+        Spec.iter_dc spec ~o (fun m ->
+            Spec.assign_dc out ~o ~m (Cover.eval cover m));
+        cover)
+  in
+  (out, covers)
+
+let assigned_dc_fraction ~before ~after =
+  let dcs = ref 0 and assigned = ref 0 in
+  for o = 0 to Spec.no before - 1 do
+    Spec.iter_dc before ~o (fun m ->
+        incr dcs;
+        if Spec.get after ~o ~m <> Spec.Dc then incr assigned)
+  done;
+  if !dcs = 0 then 0.0 else float_of_int !assigned /. float_of_int !dcs
+
+let ranking_matching_budget ~reference spec =
+  (* Count how many DCs the reference assigned, then pick the ranking
+     fraction that assigns the same number of list entries. *)
+  let target = ref 0 and listed = ref 0 in
+  for o = 0 to Spec.no spec - 1 do
+    Spec.iter_dc spec ~o (fun m ->
+        if Spec.get reference ~o ~m <> Spec.Dc then incr target);
+    listed := !listed + List.length (Metrics.dc_ranking spec ~o)
+  done;
+  let fraction =
+    if !listed = 0 then 0.0
+    else min 1.0 (float_of_int !target /. float_of_int !listed)
+  in
+  ranking ~fraction spec

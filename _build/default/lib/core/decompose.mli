@@ -1,0 +1,49 @@
+(** Nodal decomposition: applying reliability-driven DC assignment to
+    the {e internal} nodes of a circuit (Section 4, "Nodal
+    decomposition").
+
+    Each mapped cell computes a small local function.  Local input
+    patterns that can never occur (satisfiability don't-cares) are the
+    internal analogue of the external DC space: reassigning the cell's
+    value on those patterns cannot change the circuit's I/O behaviour
+    but does change how internal errors propagate.  [reassign] applies
+    the complexity-factor rule of Figure 7 to every cell's local DC
+    space; [internal_error_rate] measures the resulting masking of
+    single internal net-flip errors. *)
+
+(** [local_patterns nl] returns, per node, the bitmask of local fanin
+    patterns that actually occur over all [2^ni] circuit inputs
+    (indexed as in {!Logic.Truth}); inputs and constants get [0].
+    Exhaustive: [Netlist.ni nl <= 20]. *)
+val local_patterns : Netlist.t -> int array
+
+(** [reassign ~threshold nl] rewrites each [Cell] instance's truth
+    table on its unreachable patterns following the LC^f rule.  The
+    returned netlist is I/O-equivalent to [nl] by construction. *)
+val reassign : threshold:float -> Netlist.t -> Netlist.t
+
+(** [internal_error_rate nl] is the fraction of (internal node, input
+    minterm) single-flip error events that propagate to at least one
+    primary output.  Primary inputs are excluded (those are the
+    external error model); constants and cells all count. *)
+val internal_error_rate : Netlist.t -> float
+
+(** {1 Observability don't cares}
+
+    Section 4 names both satisfiability- and observability-based DCs
+    as internal flexibility sources.  A local pattern of a cell is an
+    ODC when, for every circuit input producing it, flipping the
+    cell's output never reaches a primary output.  [reassign_odc]
+    exploits both kinds — unreachable patterns AND reachable-but-
+    unobservable ones — processing cells one at a time against the
+    current netlist so each rewrite is individually sound. *)
+
+(** [observability_mask nl ~node] is the bitmask of local patterns of
+    [node] at which its value is observable at some primary output
+    (computed on the netlist as it currently is). *)
+val observability_mask : Netlist.t -> node:int -> int
+
+(** [reassign_odc ~threshold nl] rewrites each [Cell]'s truth table on
+    its satisfiability *and* observability DCs following the LC^f
+    rule.  The returned netlist is I/O-equivalent by construction. *)
+val reassign_odc : threshold:float -> Netlist.t -> Netlist.t

@@ -1,0 +1,30 @@
+(** The Hamming-distance metrics driving reliability-driven DC
+    assignment (Sections 2-4 of the paper). *)
+
+(** [weight spec ~o ~m] is the ranking weight
+    w = |#on-neighbours - #off-neighbours| of a minterm: how much its
+    assignment to the majority phase reduces single-bit-error
+    propagation relative to the minority phase. *)
+val weight : Pla.Spec.t -> o:int -> m:int -> int
+
+(** [majority_phase spec ~o ~m] is [Some true] when the on-neighbours
+    dominate, [Some false] when the off-neighbours dominate, [None] on
+    a tie (the paper leaves such minterms unassigned). *)
+val majority_phase : Pla.Spec.t -> o:int -> m:int -> bool option
+
+(** Re-exports of the complexity-factor family (defined in
+    {!Reliability.Borders}) so the core API is self-contained. *)
+
+val complexity_factor : Pla.Spec.t -> o:int -> float
+
+val mean_complexity_factor : Pla.Spec.t -> float
+
+val expected_complexity_factor : Pla.Spec.t -> o:int -> float
+
+val local_complexity_factor : Pla.Spec.t -> o:int -> m:int -> float
+
+(** [dc_ranking spec ~o] is the output's non-zero-weight DC minterms
+    sorted by decreasing weight (ties by increasing minterm), exactly
+    the DC_List of the paper's Figure 3. *)
+val dc_ranking : Pla.Spec.t -> o:int -> (int * int) list
+(** Each element is [(minterm, weight)]. *)

@@ -1,0 +1,1 @@
+lib/espresso/espresso.ml: Dense Essential Expand Irredundant Multi Qm Reduce Twolevel

@@ -1,0 +1,1 @@
+lib/espresso/dense.ml: Array Bitvec List Twolevel

@@ -1,0 +1,1 @@
+lib/espresso/essential.ml: List Twolevel

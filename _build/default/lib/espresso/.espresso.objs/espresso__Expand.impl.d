@@ -1,0 +1,1 @@
+lib/espresso/expand.ml: List Twolevel

@@ -1,0 +1,1 @@
+lib/espresso/irredundant.ml: List Twolevel

@@ -1,0 +1,1 @@
+lib/espresso/multi.ml: Array Bitvec List Twolevel

@@ -1,0 +1,1 @@
+lib/espresso/qm.ml: Array Bitvec Hashtbl List Printf Set Twolevel

@@ -1,0 +1,1 @@
+lib/espresso/reduce.ml: List Twolevel

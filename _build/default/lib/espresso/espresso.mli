@@ -1,0 +1,108 @@
+(** Heuristic two-level (SOP) minimisation in the style of ESPRESSO.
+
+    This is the substitute for Berkeley ESPRESSO used throughout the
+    reproduction: it implements the classical
+    EXPAND / IRREDUNDANT / ESSENTIAL / REDUCE loop over the
+    unate-recursive cover algebra of {!Twolevel}.  Conventional DC
+    assignment — "assign each DC minterm to whatever minimises the SOP"
+    — is exactly "cover the on-set, allowed to dip into the DC-set",
+    which is what {!minimize} computes. *)
+
+(** Result of a minimisation run. *)
+type result = {
+  cover : Twolevel.Cover.t;  (** minimised cover of the on-set *)
+  iterations : int;  (** reduce/expand/irredundant passes executed *)
+}
+
+(** [minimize ~on ~dc] heuristically minimises the incompletely
+    specified single-output function whose on-set is covered by [on]
+    and whose DC-set by [dc].  The result covers every [on] minterm,
+    no off-set minterm, and any subset of [dc].
+    @raise Invalid_argument if the arities differ. *)
+val minimize : on:Twolevel.Cover.t -> dc:Twolevel.Cover.t -> result
+
+(** [minimize_cover ~on ~dc] is [(minimize ~on ~dc).cover]. *)
+val minimize_cover :
+  on:Twolevel.Cover.t -> dc:Twolevel.Cover.t -> Twolevel.Cover.t
+
+(** [cost c] is espresso's cost pair: (cube count, literal count). *)
+val cost : Twolevel.Cover.t -> int * int
+
+(** The individual passes, exposed for testing and ablation. *)
+
+module Expand : sig
+  (** [run ~on ~off] raises every cube of [on] to a prime implicant
+      against the off-cover [off] and drops covered cubes. *)
+  val run :
+    on:Twolevel.Cover.t -> off:Twolevel.Cover.t -> Twolevel.Cover.t
+end
+
+module Irredundant : sig
+  (** [run ~on ~dc] drops cubes covered by the rest of [on] plus [dc]. *)
+  val run : on:Twolevel.Cover.t -> dc:Twolevel.Cover.t -> Twolevel.Cover.t
+end
+
+module Reduce : sig
+  (** [run ~on ~dc] maximally reduces each cube against the rest. *)
+  val run : on:Twolevel.Cover.t -> dc:Twolevel.Cover.t -> Twolevel.Cover.t
+end
+
+module Essential : sig
+  (** [extract ~on ~dc] is [(essential, non_essential)]. *)
+  val extract :
+    on:Twolevel.Cover.t ->
+    dc:Twolevel.Cover.t ->
+    Twolevel.Cover.t * Twolevel.Cover.t
+end
+
+module Dense : sig
+  (** Dense-set espresso over bit-vector on/dc sets: same loop, every
+      coverage question answered in O(cube size) against the 2^n
+      space.  The workhorse for the paper's n <= 12 benchmarks. *)
+
+  (** [minimize ~n ~on ~dc] minimises the function with on-set [on]
+      and DC-set [dc] given as characteristic vectors of length [2^n].
+      @raise Invalid_argument on length mismatch or overlapping sets. *)
+  val minimize :
+    n:int -> on:Bitvec.Bv.t -> dc:Bitvec.Bv.t -> Twolevel.Cover.t
+end
+
+module Qm : sig
+  (** Exact two-level minimisation: Quine-McCluskey prime generation
+      plus branch-and-bound covering.  Exponential — a ground-truth
+      oracle for small functions (n <= ~8 in practice). *)
+
+  (** [primes ~n ~on ~dc] is the complete prime-implicant cover of the
+      function with care set [on ∪ dc].
+      @raise Invalid_argument when [n > 12]. *)
+  val primes :
+    n:int -> on:Bitvec.Bv.t -> dc:Bitvec.Bv.t -> Twolevel.Cover.t
+
+  (** [minimize ~n ~on ~dc] is a minimum-cube-count cover of [on]
+      (possibly dipping into [dc], never into the off-set). *)
+  val minimize :
+    n:int -> on:Bitvec.Bv.t -> dc:Bitvec.Bv.t -> Twolevel.Cover.t
+end
+
+module Multi : sig
+  (** Multi-output espresso: product terms carry an output part and
+      are shared across outputs, as in espresso's multiple-valued
+      formulation — the way the paper's multi-output .pla benchmarks
+      were actually minimised. *)
+
+  (** A shared cube: [outputs] bit [o] set means the cube feeds
+      output [o]. *)
+  type mcube = { input : Twolevel.Cube.t; outputs : int }
+
+  (** [minimize ~n ~ons ~dcs] jointly minimises all outputs; element
+      [o] of the result arrays are output [o]'s on/DC sets.
+      @raise Invalid_argument on inconsistent arrays. *)
+  val minimize :
+    n:int -> ons:Bitvec.Bv.t array -> dcs:Bitvec.Bv.t array -> mcube list
+
+  (** [eval ~n cubes ~o ~m] evaluates output [o] on minterm [m]. *)
+  val eval : n:int -> mcube list -> o:int -> m:int -> bool
+
+  (** [cost ~n cubes] is (cube count, literal count incl. outputs). *)
+  val cost : n:int -> mcube list -> int * int
+end

@@ -1,0 +1,25 @@
+(* ESSENTIAL: a prime is essential when it covers a minterm that no
+   other on-cube and no DC cube covers.  Essentials are frozen during
+   the reduce/expand/irredundant iteration. *)
+
+module Cube = Twolevel.Cube
+module Cover = Twolevel.Cover
+
+let is_essential ~n c ~others ~dc =
+  let context = Cover.make ~n (others @ Cover.cubes dc) in
+  not (Cover.contains_cube context c)
+
+(* [extract ~on ~dc] splits [on] into (essential, non_essential). *)
+let extract ~on ~dc =
+  let n = Cover.n on in
+  let cubes = Cover.cubes on in
+  let rec go pre post ess rest =
+    match post with
+    | [] -> (List.rev ess, List.rev rest)
+    | c :: tl ->
+        let others = List.rev_append pre tl in
+        if is_essential ~n c ~others ~dc then go (c :: pre) tl (c :: ess) rest
+        else go (c :: pre) tl ess (c :: rest)
+  in
+  let ess, rest = go [] cubes [] [] in
+  (Cover.make ~n ess, Cover.make ~n rest)

@@ -1,0 +1,89 @@
+(* EXPAND: raise each cube of the on-cover to a prime implicant against
+   the off-set, greedily choosing the literal whose raising covers the
+   most remaining on-cubes while staying disjoint from every off-cube.
+   Cubes that become covered by an expanded prime are dropped. *)
+
+module Cube = Twolevel.Cube
+module Cover = Twolevel.Cover
+
+(* [raisable ~n c j off] tests whether freeing literal [j] of [c] keeps
+   the cube disjoint from the off-set. *)
+let raisable ~n c j off =
+  let c' = Cube.set c j Cube.Free in
+  List.for_all (fun r -> Cube.distance ~n c' r > 0) (Cover.cubes off)
+
+let specific_vars ~n c =
+  let rec go j acc =
+    if j < 0 then acc
+    else go (j - 1) (if Cube.get c j = Cube.Free then acc else j :: acc)
+  in
+  go (n - 1) []
+
+(* Number of cubes from [others] newly covered if [c] is replaced by
+   [c'] (they were not covered by [c]). *)
+let coverage_gain c' others =
+  List.fold_left
+    (fun acc d -> if Cube.subsumes c' d then acc + 1 else acc)
+    0 others
+
+(* Expand a single cube to a prime. *)
+let expand_cube ~n c off others =
+  let rec grow c =
+    let candidates =
+      List.filter (fun j -> raisable ~n c j off) (specific_vars ~n c)
+    in
+    match candidates with
+    | [] -> c
+    | _ ->
+        let score j =
+          let c' = Cube.set c j Cube.Free in
+          let gain = coverage_gain c' others in
+          (* Secondary criterion: prefer raises that keep the most other
+             literals raisable afterwards. *)
+          let freedom =
+            List.fold_left
+              (fun acc k ->
+                if k <> j && raisable ~n c' k off then acc + 1 else acc)
+              0 candidates
+          in
+          (gain, freedom)
+        in
+        let best =
+          List.fold_left
+            (fun acc j ->
+              let s = score j in
+              match acc with
+              | Some (sb, _) when sb >= s -> acc
+              | _ -> Some (s, j))
+            None candidates
+        in
+        (match best with
+        | Some (_, j) -> grow (Cube.set c j Cube.Free)
+        | None -> c)
+  in
+  grow c
+
+(* Sort order: expand large cubes first (they are the most likely to
+   swallow others), matching espresso's weight heuristic in spirit. *)
+let by_decreasing_size ~n cs =
+  List.sort
+    (fun a b -> compare (Cube.free_count ~n b) (Cube.free_count ~n a))
+    cs
+
+let run ~on ~off =
+  let n = Cover.n on in
+  let rec go pending primes =
+    match pending with
+    | [] -> List.rev primes
+    | c :: rest ->
+        if List.exists (fun p -> Cube.subsumes p c) primes then
+          (* already covered by an expanded prime *)
+          go rest primes
+        else
+          let others = rest in
+          let p = expand_cube ~n c off others in
+          let rest = List.filter (fun d -> not (Cube.subsumes p d)) rest in
+          go rest (p :: primes)
+  in
+  let cubes = go (by_decreasing_size ~n (Cover.cubes on)) [] in
+  Cover.single_cube_containment (Cover.make ~n cubes)

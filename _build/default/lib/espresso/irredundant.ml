@@ -1,0 +1,25 @@
+(* IRREDUNDANT: remove cubes covered by the rest of the cover plus the
+   DC-set.  Cubes are dropped smallest-first so the large primes kept by
+   EXPAND survive, which mirrors espresso's preference. *)
+
+module Cube = Twolevel.Cube
+module Cover = Twolevel.Cover
+
+let run ~on ~dc =
+  let n = Cover.n on in
+  let by_increasing_size =
+    List.sort
+      (fun a b -> compare (Cube.free_count ~n a) (Cube.free_count ~n b))
+      (Cover.cubes on)
+  in
+  (* Try to delete each cube in turn, testing coverage against the
+     currently retained cover (minus the candidate) plus DC. *)
+  let rec go to_try kept =
+    match to_try with
+    | [] -> kept
+    | c :: rest ->
+        let context = Cover.make ~n (rest @ kept @ Cover.cubes dc) in
+        if Cover.contains_cube context c then go rest kept
+        else go rest (c :: kept)
+  in
+  Cover.make ~n (go by_increasing_size [])

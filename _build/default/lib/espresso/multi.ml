@@ -1,0 +1,283 @@
+(* Multi-output espresso over dense sets: cubes carry an output part
+   (a bit mask of the outputs they drive), so product terms are shared
+   across outputs exactly as in espresso's multiple-valued formulation.
+   This matches how the paper's benchmarks (multi-output .pla files)
+   were actually minimised.
+
+   The passes generalise Dense:
+   - EXPAND may raise input literals (the flipped half-cube must avoid
+     the off-set of EVERY driven output) and may raise the output part
+     (adding an output whose off-set the whole cube avoids);
+   - IRREDUNDANT drops cubes whose (output, on-minterm) pairs are all
+     covered at least twice;
+   - REDUCE shrinks the input part to the supercube of uniquely covered
+     minterms and the output part to outputs that still own one;
+   - MAKE_SPARSE finally strips redundant outputs from each cube. *)
+
+module Cube = Twolevel.Cube
+module Bv = Bitvec.Bv
+
+type mcube = { input : Cube.t; outputs : int }
+
+type ctx = {
+  n : int;
+  no : int;
+  size : int;
+  ons : Bv.t array;
+  offs : Bv.t array;
+  counts : int array; (* coverage count, indexed o * size + m *)
+}
+
+let iter_outputs omask no f =
+  for o = 0 to no - 1 do
+    if omask land (1 lsl o) <> 0 then f o
+  done
+
+let add_cube ctx c =
+  iter_outputs c.outputs ctx.no (fun o ->
+      Cube.iter_minterms ~n:ctx.n
+        (fun m ->
+          let i = (o * ctx.size) + m in
+          ctx.counts.(i) <- ctx.counts.(i) + 1)
+        c.input)
+
+let remove_cube ctx c =
+  iter_outputs c.outputs ctx.no (fun o ->
+      Cube.iter_minterms ~n:ctx.n
+        (fun m ->
+          let i = (o * ctx.size) + m in
+          ctx.counts.(i) <- ctx.counts.(i) - 1)
+        c.input)
+
+let cube_avoids_off ctx cube o =
+  let ok = ref true in
+  Cube.iter_minterms ~n:ctx.n
+    (fun m -> if Bv.get ctx.offs.(o) m then ok := false)
+    cube;
+  !ok
+
+let flipped_half c j =
+  match Cube.get c j with
+  | Cube.Free -> invalid_arg "Multi.flipped_half"
+  | Cube.Zero -> Cube.set c j Cube.One
+  | Cube.One -> Cube.set c j Cube.Zero
+
+let specific_vars ~n c =
+  let rec go j acc =
+    if j < 0 then acc
+    else go (j - 1) (if Cube.get c j = Cube.Free then acc else j :: acc)
+  in
+  go (n - 1) []
+
+(* Gain of covering [cube] for output [o]: on-minterms not covered yet. *)
+let gain_for ctx cube o =
+  let g = ref 0 in
+  Cube.iter_minterms ~n:ctx.n
+    (fun m ->
+      if Bv.get ctx.ons.(o) m && ctx.counts.((o * ctx.size) + m) = 0 then
+        incr g)
+    cube;
+  !g
+
+type raise_candidate = Input_raise of int | Output_raise of int
+
+let expand_cube ctx c =
+  let rec grow c =
+    let input_candidates =
+      List.filter_map
+        (fun j ->
+          let half = flipped_half c.input j in
+          let ok = ref true in
+          iter_outputs c.outputs ctx.no (fun o ->
+              if not (cube_avoids_off ctx half o) then ok := false);
+          if !ok then
+            let g = ref 0 in
+            iter_outputs c.outputs ctx.no (fun o ->
+                g := !g + gain_for ctx half o);
+            Some (Input_raise j, !g)
+          else None)
+        (specific_vars ~n:ctx.n c.input)
+    in
+    let output_candidates =
+      let rec go o acc =
+        if o >= ctx.no then acc
+        else if c.outputs land (1 lsl o) <> 0 then go (o + 1) acc
+        else if cube_avoids_off ctx c.input o then
+          go (o + 1) ((Output_raise o, gain_for ctx c.input o) :: acc)
+        else go (o + 1) acc
+      in
+      go 0 []
+    in
+    match input_candidates @ output_candidates with
+    | [] -> c
+    | candidates ->
+        let best, _ =
+          List.fold_left
+            (fun (bc, bg) (cand, g) -> if g > bg then (cand, g) else (bc, bg))
+            (fst (List.hd candidates), -1)
+            candidates
+        in
+        (match best with
+        | Input_raise j -> grow { c with input = Cube.set c.input j Cube.Free }
+        | Output_raise o -> grow { c with outputs = c.outputs lor (1 lsl o) })
+  in
+  grow c
+
+let covered_elsewhere ctx c =
+  let ok = ref true in
+  iter_outputs c.outputs ctx.no (fun o ->
+      Cube.iter_minterms ~n:ctx.n
+        (fun m ->
+          if Bv.get ctx.ons.(o) m && ctx.counts.((o * ctx.size) + m) <= 1 then
+            ok := false)
+        c.input);
+  !ok
+
+let expand ctx cubes =
+  let rec go pending done_ =
+    match pending with
+    | [] -> List.rev done_
+    | c :: rest ->
+        if covered_elsewhere ctx c then begin
+          remove_cube ctx c;
+          go rest done_
+        end
+        else begin
+          remove_cube ctx c;
+          let p = expand_cube ctx c in
+          add_cube ctx p;
+          go rest (p :: done_)
+        end
+  in
+  go cubes []
+
+let irredundant ctx cubes =
+  let weight c =
+    Cube.free_count ~n:ctx.n c.input + Bitvec.Minterm.popcount c.outputs
+  in
+  let sorted = List.sort (fun a b -> compare (weight a) (weight b)) cubes in
+  List.filter
+    (fun c ->
+      if covered_elsewhere ctx c then begin
+        remove_cube ctx c;
+        false
+      end
+      else true)
+    sorted
+
+(* Strip individually redundant outputs from each cube. *)
+let make_sparse ctx cubes =
+  List.filter_map
+    (fun c ->
+      let omask = ref c.outputs in
+      iter_outputs c.outputs ctx.no (fun o ->
+          let removable = ref true in
+          Cube.iter_minterms ~n:ctx.n
+            (fun m ->
+              if Bv.get ctx.ons.(o) m && ctx.counts.((o * ctx.size) + m) <= 1
+              then removable := false)
+            c.input;
+          if !removable then begin
+            Cube.iter_minterms ~n:ctx.n
+              (fun m ->
+                let i = (o * ctx.size) + m in
+                ctx.counts.(i) <- ctx.counts.(i) - 1)
+              c.input;
+            omask := !omask land lnot (1 lsl o)
+          end);
+      if !omask = 0 then None else Some { c with outputs = !omask })
+    cubes
+
+let supercube_of_minterms ~n = function
+  | [] -> None
+  | m0 :: rest ->
+      Some
+        (List.fold_left
+           (fun acc m -> Cube.supercube acc (Cube.of_minterm ~n m))
+           (Cube.of_minterm ~n m0) rest)
+
+let reduce ctx cubes =
+  let weight c = Cube.free_count ~n:ctx.n c.input in
+  let sorted = List.sort (fun a b -> compare (weight b) (weight a)) cubes in
+  List.filter_map
+    (fun c ->
+      let unique_ms = ref [] and unique_os = ref 0 in
+      iter_outputs c.outputs ctx.no (fun o ->
+          Cube.iter_minterms ~n:ctx.n
+            (fun m ->
+              if Bv.get ctx.ons.(o) m && ctx.counts.((o * ctx.size) + m) = 1
+              then begin
+                unique_ms := m :: !unique_ms;
+                unique_os := !unique_os lor (1 lsl o)
+              end)
+            c.input);
+      remove_cube ctx c;
+      match supercube_of_minterms ~n:ctx.n !unique_ms with
+      | None -> None
+      | Some input ->
+          let c' = { input; outputs = !unique_os } in
+          add_cube ctx c';
+          Some c')
+    sorted
+
+let cost ~n cubes =
+  ( List.length cubes,
+    List.fold_left
+      (fun acc c ->
+        acc + (n - Cube.free_count ~n c.input)
+        + Bitvec.Minterm.popcount c.outputs)
+      0 cubes )
+
+let minimize ~n ~ons ~dcs =
+  let no = Array.length ons in
+  if no = 0 || Array.length dcs <> no then invalid_arg "Multi.minimize";
+  let size = 1 lsl n in
+  Array.iteri
+    (fun o on ->
+      if Bv.length on <> size || Bv.length dcs.(o) <> size then
+        invalid_arg "Multi.minimize: length";
+      if not (Bv.disjoint on dcs.(o)) then
+        invalid_arg "Multi.minimize: on/dc overlap")
+    ons;
+  let offs = Array.mapi (fun o on -> Bv.complement (Bv.union on dcs.(o))) ons in
+  let ctx = { n; no; size; ons; offs; counts = Array.make (no * size) 0 } in
+  (* Initial cover: one cube per minterm that is ON somewhere, driving
+     exactly the outputs where it is ON. *)
+  let initial = ref [] in
+  for m = 0 to size - 1 do
+    let omask = ref 0 in
+    for o = 0 to no - 1 do
+      if Bv.get ons.(o) m then omask := !omask lor (1 lsl o)
+    done;
+    if !omask <> 0 then
+      initial := { input = Cube.of_minterm ~n m; outputs = !omask } :: !initial
+  done;
+  let initial = !initial in
+  List.iter (add_cube ctx) initial;
+  let f = expand ctx initial in
+  let f = irredundant ctx f in
+  let rec loop f best iters =
+    if iters >= 20 then f
+    else
+      let f' = reduce ctx f in
+      let f' = expand ctx f' in
+      let f' = irredundant ctx f' in
+      let c = cost ~n f' in
+      if c < best then loop f' c (iters + 1)
+      else begin
+        (* Roll the coverage counts back to [f]: MAKE_SPARSE below
+           depends on them matching the returned cover. *)
+        List.iter (remove_cube ctx) f';
+        List.iter (add_cube ctx) f;
+        f
+      end
+  in
+  let f = loop f (cost ~n f) 0 in
+  make_sparse ctx f
+
+(* Evaluation helper for tests and downstream builders. *)
+let eval ~n cubes ~o ~m =
+  ignore n;
+  List.exists
+    (fun c -> c.outputs land (1 lsl o) <> 0 && Cube.contains_minterm c.input m)
+    cubes

@@ -1,0 +1,115 @@
+(* Exact two-level minimisation (Quine-McCluskey prime generation +
+   branch-and-bound unate covering).  Exponential; intended for small
+   inputs where it serves as a quality oracle for the heuristic
+   minimiser and as ground truth for "minimal SOP" claims. *)
+
+module Cube = Twolevel.Cube
+module Cover = Twolevel.Cover
+module Bv = Bitvec.Bv
+
+(* All prime implicants of the function with care set [on ∪ dc]:
+   iterated pairwise merging of cubes with identical free masks that
+   differ in exactly one literal. *)
+let primes ~n ~on ~dc =
+  if n > 12 then invalid_arg "Qm.primes: n too large for exact minimisation";
+  let care = Bv.union on dc in
+  let module S = Set.Make (struct
+    type t = Cube.t
+
+    let compare = Cube.compare
+  end) in
+  let level0 =
+    Bv.fold_set (fun m acc -> S.add (Cube.of_minterm ~n m) acc) care S.empty
+  in
+  let rec go current primes_acc =
+    if S.is_empty current then primes_acc
+    else begin
+      let merged = ref S.empty in
+      let used = Hashtbl.create 64 in
+      let items = S.elements current in
+      let arr = Array.of_list items in
+      let k = Array.length arr in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          let a = arr.(i) and b = arr.(j) in
+          (* merge iff same free mask and exactly one differing literal *)
+          let free_a = Cube.mask0 a land Cube.mask1 a in
+          let free_b = Cube.mask0 b land Cube.mask1 b in
+          if free_a = free_b then begin
+            let diff0 = Cube.mask0 a lxor Cube.mask0 b in
+            let diff1 = Cube.mask1 a lxor Cube.mask1 b in
+            if diff0 = diff1 && Bitvec.Minterm.popcount diff0 = 1 then begin
+              let m0 = Cube.mask0 a lor Cube.mask0 b in
+              let m1 = Cube.mask1 a lor Cube.mask1 b in
+              merged := S.add (Cube.of_masks ~m0 ~m1) !merged;
+              Hashtbl.replace used a ();
+              Hashtbl.replace used b ()
+            end
+          end
+        done
+      done;
+      let unmerged =
+        List.filter (fun c -> not (Hashtbl.mem used c)) items
+      in
+      go !merged (List.rev_append unmerged primes_acc)
+    end
+  in
+  Cover.make ~n (go level0 [])
+
+(* Exact minimum-cube cover of [on] using primes over [on ∪ dc]:
+   essential extraction + branch and bound on cube count. *)
+let minimize ~n ~on ~dc =
+  if not (Bv.disjoint on dc) then invalid_arg "Qm.minimize: on/dc overlap";
+  let ps = Array.of_list (Cover.cubes (primes ~n ~on ~dc)) in
+  let np = Array.length ps in
+  (* per on-minterm, the list of prime indices covering it *)
+  let on_list = Bv.to_list on in
+  let covers_of =
+    List.map
+      (fun m ->
+        let l = ref [] in
+        for i = np - 1 downto 0 do
+          if Cube.contains_minterm ps.(i) m then l := i :: !l
+        done;
+        (m, !l))
+      on_list
+  in
+  List.iter
+    (fun (m, l) ->
+      if l = [] then
+        invalid_arg (Printf.sprintf "Qm.minimize: minterm %d uncoverable" m))
+    covers_of;
+  (* order by fewest covering primes first: strongest constraints *)
+  let ordered =
+    List.sort
+      (fun (_, a) (_, b) -> compare (List.length a) (List.length b))
+      covers_of
+  in
+  let best = ref None in
+  let best_size = ref max_int in
+  let chosen = Array.make np false in
+  let rec solve remaining count =
+    if count >= !best_size then ()
+    else
+      match remaining with
+      | [] ->
+          best_size := count;
+          let sel = ref [] in
+          Array.iteri (fun i c -> if c then sel := ps.(i) :: !sel) chosen;
+          best := Some !sel
+      | (m, candidates) :: rest ->
+          if List.exists (fun i -> chosen.(i)) candidates then
+            solve rest count
+          else
+            List.iter
+              (fun i ->
+                chosen.(i) <- true;
+                solve rest (count + 1);
+                chosen.(i) <- false)
+              candidates;
+          ignore m
+  in
+  solve ordered 0;
+  match !best with
+  | Some cubes -> Cover.make ~n cubes
+  | None -> Cover.empty ~n (* on-set was empty *)

@@ -1,0 +1,42 @@
+(* REDUCE: replace each cube by its maximally reduced version — the
+   smallest cube containing the part of the function only it covers.
+   Reduction unlocks different expansions on the next EXPAND pass.
+
+   The maximally reduced cube of c against G = (F \ {c}) ∪ D is
+   c ∩ supercube(complement(G cofactored by c)). *)
+
+module Cube = Twolevel.Cube
+module Cover = Twolevel.Cover
+
+let supercube_of_cover cover =
+  match Cover.cubes cover with
+  | [] -> None
+  | c :: rest -> Some (List.fold_left Cube.supercube c rest)
+
+let reduce_cube c context =
+  let gc = Cover.cofactor context c in
+  if Cover.is_tautology gc then None (* c entirely covered elsewhere *)
+  else
+    match supercube_of_cover (Cover.complement gc) with
+    | None -> None
+    | Some sc -> Cube.intersect c sc
+
+let run ~on ~dc =
+  let n = Cover.n on in
+  (* Process cubes largest-first: espresso reduces in decreasing weight
+     so early reductions free room for later ones. *)
+  let sorted =
+    List.sort
+      (fun a b -> compare (Cube.free_count ~n b) (Cube.free_count ~n a))
+      (Cover.cubes on)
+  in
+  let rec go pending done_ =
+    match pending with
+    | [] -> List.rev done_
+    | c :: rest ->
+        let context = Cover.make ~n (rest @ done_ @ Cover.cubes dc) in
+        (match reduce_cube c context with
+        | None -> go rest done_ (* fully redundant: drop *)
+        | Some c' -> go rest (c' :: done_))
+  in
+  Cover.make ~n (go sorted [])

@@ -1,0 +1,1 @@
+lib/flow/experiments.ml: Aig Array Espresso Flow List Netlist Pla Rdca_core Reliability Synthetic Techmap Twolevel

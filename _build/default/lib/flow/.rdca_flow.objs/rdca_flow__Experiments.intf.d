@@ -1,0 +1,1 @@
+lib/flow/experiments.mli: Random Techmap

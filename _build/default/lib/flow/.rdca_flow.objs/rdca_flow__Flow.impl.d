@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Aig Array Bitvec Espresso List Netlist Pla Printf Rdca_core Reliability Techmap Twolevel

@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Espresso Pla Techmap Twolevel

@@ -1,0 +1,1 @@
+lib/flow/tablefmt.ml: Array List Printf String

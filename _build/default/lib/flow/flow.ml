@@ -1,0 +1,169 @@
+module Spec = Pla.Spec
+module Assign = Rdca_core.Assign
+module ER = Reliability.Error_rate
+
+type strategy =
+  | Conventional
+  | Ranking of float
+  | Lcf of float
+  | Complete
+
+let strategy_name = function
+  | Conventional -> "conventional"
+  | Ranking f -> Printf.sprintf "ranking(%.2f)" f
+  | Lcf t -> Printf.sprintf "lcf(%.2f)" t
+  | Complete -> "complete"
+
+type result = {
+  error_rate : float;
+  report : Techmap.Report.t;
+  sop_cubes : int;
+  assigned_fraction : float;
+}
+
+let apply_strategy strategy spec =
+  match strategy with
+  | Conventional -> Spec.copy spec
+  | Ranking fraction -> Assign.ranking ~fraction spec
+  | Lcf threshold -> Assign.by_complexity ~threshold spec
+  | Complete -> Assign.complete spec
+
+let implement spec = Assign.conventional spec
+
+let measured_error ~original assigned =
+  let no = Spec.no original in
+  let total = ref 0.0 in
+  for o = 0 to no - 1 do
+    let impl = ER.impl_table assigned ~o in
+    total := !total +. ER.of_table original ~o ~impl
+  done;
+  !total /. float_of_int no
+
+let build ?lib ?(factored = false) ~mode spec_assigned covers =
+  let lib =
+    match lib with Some l -> l | None -> Techmap.Stdcell.default_library ()
+  in
+  let ni = Spec.ni spec_assigned in
+  let aig =
+    if factored then
+      Aig.of_factored ~ni (List.map Twolevel.Factor.factor covers)
+    else Aig.of_covers ~ni covers
+  in
+  let aig = Aig.Opt.balance aig in
+  Techmap.Mapper.map ~mode ~lib aig
+
+let synthesize_common ?lib ?factored ~mode ~strategy ~verify spec =
+  let partial = apply_strategy strategy spec in
+  let assigned_fraction =
+    Assign.assigned_dc_fraction ~before:spec ~after:partial
+  in
+  let full, covers = implement partial in
+  let error_rate = measured_error ~original:spec full in
+  let nl = build ?lib ?factored ~mode full covers in
+  if verify then begin
+    let tables = Netlist.output_tables nl in
+    Array.iteri
+      (fun o table ->
+        for m = 0 to Spec.size spec - 1 do
+          if Bitvec.Bv.get table m <> Spec.output_value full ~o ~m then
+            failwith
+              (Printf.sprintf
+                 "Flow: mapped netlist differs from spec at output %d minterm %d"
+                 o m)
+        done)
+      tables
+  end;
+  let report = Techmap.Report.of_netlist nl in
+  let sop_cubes =
+    List.fold_left (fun acc c -> acc + Twolevel.Cover.size c) 0 covers
+  in
+  { error_rate; report; sop_cubes; assigned_fraction }
+
+let synthesize ?lib ?factored ~mode ~strategy spec =
+  synthesize_common ?lib ?factored ~mode ~strategy ~verify:false spec
+
+let verified_synthesize ?lib ?factored ~mode ~strategy spec =
+  synthesize_common ?lib ?factored ~mode ~strategy ~verify:true spec
+
+let implement_shared spec =
+  let ni = Spec.ni spec and no = Spec.no spec in
+  let ons = Array.init no (fun o -> Spec.on_bv spec ~o) in
+  let dcs = Array.init no (fun o -> Spec.dc_bv spec ~o) in
+  let mcubes = Espresso.Multi.minimize ~n:ni ~ons ~dcs in
+  let out = Spec.copy spec in
+  for o = 0 to no - 1 do
+    Spec.iter_dc spec ~o (fun m ->
+        Spec.assign_dc out ~o ~m (Espresso.Multi.eval ~n:ni mcubes ~o ~m))
+  done;
+  (out, mcubes)
+
+let aig_of_mcubes ~ni ~no mcubes =
+  let aig = Aig.create ~ni in
+  let cube_lits =
+    List.map
+      (fun mc ->
+        let lits = ref [] in
+        for j = ni - 1 downto 0 do
+          match Twolevel.Cube.get mc.Espresso.Multi.input j with
+          | Twolevel.Cube.Zero -> lits := Aig.lnot (Aig.input aig j) :: !lits
+          | Twolevel.Cube.One -> lits := Aig.input aig j :: !lits
+          | Twolevel.Cube.Free -> ()
+        done;
+        let rec combine = function
+          | [] -> Aig.const1
+          | [ l ] -> l
+          | lits ->
+              let rec pair = function
+                | [] -> []
+                | [ x ] -> [ x ]
+                | x :: y :: rest -> Aig.land_ aig x y :: pair rest
+              in
+              combine (pair lits)
+        in
+        (combine !lits, mc.Espresso.Multi.outputs))
+      mcubes
+  in
+  let outs =
+    Array.init no (fun o ->
+        let terms =
+          List.filter_map
+            (fun (l, omask) ->
+              if omask land (1 lsl o) <> 0 then Some l else None)
+            cube_lits
+        in
+        let rec combine = function
+          | [] -> Aig.const0
+          | [ l ] -> l
+          | lits ->
+              let rec pair = function
+                | [] -> []
+                | [ x ] -> [ x ]
+                | x :: y :: rest -> Aig.lor_ aig x y :: pair rest
+              in
+              combine (pair lits)
+        in
+        combine terms)
+  in
+  Aig.set_outputs aig outs;
+  aig
+
+let synthesize_shared ?lib ~mode ~strategy spec =
+  let lib =
+    match lib with Some l -> l | None -> Techmap.Stdcell.default_library ()
+  in
+  let partial = apply_strategy strategy spec in
+  let assigned_fraction =
+    Assign.assigned_dc_fraction ~before:spec ~after:partial
+  in
+  let full, mcubes = implement_shared partial in
+  let error_rate = measured_error ~original:spec full in
+  let aig = aig_of_mcubes ~ni:(Spec.ni spec) ~no:(Spec.no spec) mcubes in
+  let aig = Aig.Opt.balance aig in
+  let nl = Techmap.Mapper.map ~mode ~lib aig in
+  let report = Techmap.Report.of_netlist nl in
+  {
+    error_rate;
+    report;
+    sop_cubes = List.length mcubes;
+    assigned_fraction;
+  }

@@ -1,0 +1,83 @@
+(** The end-to-end synthesis flow of the paper's experiments:
+
+    spec --(reliability-driven partial DC assignment)-->
+    spec' --(espresso per output, conventional use of leftover DCs)-->
+    covers --(AIG, balance)--> --(technology mapping)--> netlist,
+
+    measured as (input-error rate, area, delay, power).  This is the
+    OCaml equivalent of the paper's ".pla -> Design Compiler" pipeline
+    with our substrate (see DESIGN.md). *)
+
+(** How the DC space is treated before conventional synthesis. *)
+type strategy =
+  | Conventional  (** all DCs left to espresso (the 0% baseline) *)
+  | Ranking of float  (** Figure 3 with the given fraction *)
+  | Lcf of float  (** Figure 7 with the given threshold *)
+  | Complete  (** every non-tied DC assigned for reliability *)
+
+val strategy_name : strategy -> string
+
+(** Result of one synthesis run. *)
+type result = {
+  error_rate : float;
+      (** mean input-error rate of the implementation, measured against
+          the {e original} specification's care sets *)
+  report : Techmap.Report.t;
+  sop_cubes : int;  (** total minimised cover cubes across outputs *)
+  assigned_fraction : float;
+      (** fraction of the DC space the strategy assigned before
+          conventional synthesis *)
+}
+
+(** [apply_strategy strategy spec] is the partially assigned spec. *)
+val apply_strategy : strategy -> Pla.Spec.t -> Pla.Spec.t
+
+(** [implement spec] finishes any spec with conventional assignment
+    and returns the fully specified spec plus per-output covers. *)
+val implement : Pla.Spec.t -> Pla.Spec.t * Twolevel.Cover.t list
+
+(** [measured_error ~original assigned] is the mean implementation
+    error rate of a fully specified [assigned] against [original]. *)
+val measured_error : original:Pla.Spec.t -> Pla.Spec.t -> float
+
+(** [synthesize ?lib ?factored ~mode ~strategy spec] runs the full
+    pipeline.  [lib] defaults to {!Techmap.Stdcell.default_library};
+    [factored] (default false) algebraically factors each minimised
+    cover ({!Twolevel.Factor}) before AIG construction. *)
+val synthesize :
+  ?lib:Techmap.Stdcell.t list ->
+  ?factored:bool ->
+  mode:Techmap.Mapper.mode ->
+  strategy:strategy ->
+  Pla.Spec.t ->
+  result
+
+(** [verified_synthesize] additionally checks (exhaustively) that the
+    mapped netlist realises the assigned spec, raising [Failure]
+    otherwise.  Used by tests and the quickstart example. *)
+val verified_synthesize :
+  ?lib:Techmap.Stdcell.t list ->
+  ?factored:bool ->
+  mode:Techmap.Mapper.mode ->
+  strategy:strategy ->
+  Pla.Spec.t ->
+  result
+
+(** {1 Multi-output (shared-cube) variant}
+
+    Uses {!Espresso.Multi} so product terms are shared across outputs
+    (the real espresso behaviour on multi-output .pla files), instead
+    of minimising each output independently. *)
+
+(** [implement_shared spec] conventionally assigns remaining DCs via
+    the joint minimisation and returns the fully specified spec plus
+    the shared cube list. *)
+val implement_shared : Pla.Spec.t -> Pla.Spec.t * Espresso.Multi.mcube list
+
+(** [synthesize_shared] is {!synthesize} on the shared-cube path. *)
+val synthesize_shared :
+  ?lib:Techmap.Stdcell.t list ->
+  mode:Techmap.Mapper.mode ->
+  strategy:strategy ->
+  Pla.Spec.t ->
+  result

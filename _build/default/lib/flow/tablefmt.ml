@@ -1,0 +1,20 @@
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let pct v = Printf.sprintf "%.1f" v
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let pad i cell = Printf.sprintf "%-*s" widths.(i) cell in
+  let line r = String.concat "  " (List.mapi pad r) in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Printf.printf "\n== %s ==\n%s\n%s\n" title (line header) sep;
+  List.iter (fun r -> print_endline (line r)) rows;
+  print_newline ()

@@ -1,0 +1,16 @@
+(** Minimal fixed-width table printing for the benchmark harness. *)
+
+(** [print ~title ~header rows] renders an aligned ASCII table to
+    stdout.  Column widths fit the widest cell. *)
+val print : title:string -> header:string list -> string list list -> unit
+
+(** Cell formatting helpers. *)
+
+val f2 : float -> string
+(** two decimals *)
+
+val f3 : float -> string
+(** three decimals *)
+
+val pct : float -> string
+(** one-decimal percentage (already in percent units) *)

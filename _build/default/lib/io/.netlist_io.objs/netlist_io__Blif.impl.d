@@ -1,0 +1,1 @@
+lib/io/blif.ml: Aig Array Buffer Hashtbl List Logic Netlist Printf String Twolevel

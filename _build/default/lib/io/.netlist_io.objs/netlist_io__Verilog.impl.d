@@ -1,0 +1,1 @@
+lib/io/verilog.ml: Array Buffer List Netlist Printf String

@@ -1,0 +1,60 @@
+module Gate = Netlist.Gate
+
+let net id = Printf.sprintf "n%d" id
+
+let pin_names = [| "A"; "B"; "C"; "D" |]
+
+let op_expr g fanins =
+  let f i = net fanins.(i) in
+  let join sep =
+    String.concat sep (Array.to_list (Array.map net fanins))
+  in
+  match g with
+  | Gate.Const b -> if b then "1'b1" else "1'b0"
+  | Gate.Buf -> f 0
+  | Gate.Not -> "~" ^ f 0
+  | Gate.And -> join " & "
+  | Gate.Or -> join " | "
+  | Gate.Nand -> "~(" ^ join " & " ^ ")"
+  | Gate.Nor -> "~(" ^ join " | " ^ ")"
+  | Gate.Xor -> join " ^ "
+  | Gate.Xnor -> "~(" ^ join " ^ " ^ ")"
+  | Gate.Input _ | Gate.Cell _ -> assert false
+
+let of_netlist ?(name = "rdca") nl =
+  let buf = Buffer.create 4096 in
+  let ni = Netlist.ni nl in
+  let outs = Netlist.outputs nl in
+  let inputs = List.init ni (fun i -> net i) in
+  let out_ports = Array.to_list (Array.mapi (fun o _ -> Printf.sprintf "po%d" o) outs) in
+  Printf.bprintf buf "module %s(%s);\n" name
+    (String.concat ", " (inputs @ out_ports));
+  List.iter (fun i -> Printf.bprintf buf "  input %s;\n" i) inputs;
+  List.iter (fun o -> Printf.bprintf buf "  output %s;\n" o) out_ports;
+  Netlist.iter_nodes nl (fun id _ _ ->
+      Printf.bprintf buf "  wire %s;\n" (net id));
+  let inst_count = ref 0 in
+  Netlist.iter_nodes nl (fun id g fanins ->
+      match g with
+      | Gate.Cell c ->
+          incr inst_count;
+          let pins =
+            Array.to_list
+              (Array.mapi
+                 (fun i f -> Printf.sprintf ".%s(%s)" pin_names.(i) (net f))
+                 fanins)
+          in
+          Printf.bprintf buf "  %s u%d (%s, .Y(%s));\n" c.Gate.cell_name
+            !inst_count (String.concat ", " pins) (net id)
+      | Gate.Input _ -> ()
+      | g -> Printf.bprintf buf "  assign %s = %s;\n" (net id) (op_expr g fanins));
+  Array.iteri
+    (fun o id -> Printf.bprintf buf "  assign po%d = %s;\n" o (net id))
+    outs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_netlist ?name path nl =
+  let oc = open_out path in
+  output_string oc (of_netlist ?name nl);
+  close_out oc

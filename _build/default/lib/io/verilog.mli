@@ -1,0 +1,12 @@
+(** Structural Verilog emission for mapped netlists.
+
+    Mapped cells become instances of their library cell (pin names
+    [A], [B], [C], [D] and output [Y], the usual generic-library
+    convention); primitive gates become Verilog operators in [assign]
+    statements, so both mapped and unmapped netlists emit valid
+    modules. *)
+
+(** [of_netlist ?name nl] renders a Verilog module. *)
+val of_netlist : ?name:string -> Netlist.t -> string
+
+val write_netlist : ?name:string -> string -> Netlist.t -> unit

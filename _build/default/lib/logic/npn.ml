@@ -1,0 +1,65 @@
+type transform = { perm : int array; input_neg : int; output_neg : bool }
+
+let identity k = { perm = Array.init k (fun i -> i); input_neg = 0; output_neg = false }
+
+let apply k tt tr =
+  (* Negations are expressed in source input numbering, so apply them
+     before the permutation. *)
+  let tt = ref tt in
+  for i = 0 to k - 1 do
+    if tr.input_neg land (1 lsl i) <> 0 then tt := Truth.negate_input k !tt i
+  done;
+  let tt = Truth.permute k !tt tr.perm in
+  if tr.output_neg then Truth.tnot k tt else tt
+
+let rec permutations_list = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations_list rest))
+        l
+
+let permutations k =
+  permutations_list (List.init k (fun i -> i)) |> List.map Array.of_list
+
+let all_transforms k =
+  let perms = permutations k in
+  List.concat_map
+    (fun perm ->
+      List.concat_map
+        (fun output_neg ->
+          List.init (1 lsl k) (fun input_neg -> { perm; input_neg; output_neg }))
+        [ false; true ])
+    perms
+
+let canonical k tt =
+  List.fold_left
+    (fun (best, best_tr) tr ->
+      let v = apply k tt tr in
+      if v < best then (v, tr) else (best, best_tr))
+    (apply k tt (identity k), identity k)
+    (all_transforms k)
+
+let dedup_by_tt l =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (tt, _) ->
+      if Hashtbl.mem seen tt then false
+      else begin
+        Hashtbl.add seen tt ();
+        true
+      end)
+    l
+
+let p_variants k tt =
+  permutations k
+  |> List.map (fun perm -> (Truth.permute k tt perm, perm))
+  |> dedup_by_tt
+
+let np_variants k tt =
+  all_transforms k
+  |> List.filter (fun tr -> not tr.output_neg)
+  |> List.map (fun tr -> (apply k tt tr, tr))
+  |> dedup_by_tt

@@ -1,0 +1,40 @@
+(** NPN classification of small functions.
+
+    Two functions are NPN-equivalent when one can be obtained from the
+    other by Negating inputs, Permuting inputs and/or Negating the
+    output.  The technology mapper uses P-variants (permutation only,
+    with optional output negation) to index standard cells, and the
+    full NPN canonical form to group cut functions in statistics and
+    tests.  Everything is exhaustive — intended for [k <= 4]. *)
+
+(** A transform applied to a function's inputs/output. *)
+type transform = {
+  perm : int array;  (** result input [j] reads source input [perm.(j)] *)
+  input_neg : int;  (** bit [j] set: result input [j] is complemented *)
+  output_neg : bool;
+}
+
+(** [identity k] is the do-nothing transform. *)
+val identity : int -> transform
+
+(** [apply k tt tr] applies a transform to a table:
+    negate inputs of [tt] per [tr.input_neg] (in source numbering),
+    permute per [tr.perm], then negate the output if requested. *)
+val apply : int -> Truth.t -> transform -> Truth.t
+
+(** [permutations k] is all [k!] permutations of [0..k-1]. *)
+val permutations : int -> int array list
+
+(** [canonical k tt] is the NPN-canonical representative (the smallest
+    table over all transforms) with one transform [tr] achieving
+    [apply k tt tr = canonical]. *)
+val canonical : int -> Truth.t -> Truth.t * transform
+
+(** [p_variants k tt] lists the distinct tables reachable by input
+    permutation only, each with a permutation producing it. *)
+val p_variants : int -> Truth.t -> (Truth.t * int array) list
+
+(** [np_variants k tt] adds input negations to {!p_variants}: each
+    variant is the table with the transform producing it (output
+    never negated). *)
+val np_variants : int -> Truth.t -> (Truth.t * transform) list

@@ -1,0 +1,86 @@
+type t = int
+
+let max_vars = 5
+
+let check k =
+  if k < 0 || k > max_vars then invalid_arg "Truth: too many variables"
+
+let mask k =
+  check k;
+  (1 lsl (1 lsl k)) - 1
+
+let of_fun k f =
+  check k;
+  let acc = ref 0 in
+  for idx = (1 lsl k) - 1 downto 0 do
+    acc := (!acc lsl 1) lor if f idx then 1 else 0
+  done;
+  !acc
+
+let eval tt idx = tt land (1 lsl idx) <> 0
+
+let var k i =
+  check k;
+  if i < 0 || i >= k then invalid_arg "Truth.var: out of range";
+  of_fun k (fun idx -> idx land (1 lsl i) <> 0)
+
+let tnot k tt = lnot tt land mask k
+let tand a b = a land b
+let tor a b = a lor b
+let txor a b = a lxor b
+let zero = 0
+let ones k = mask k
+
+let cofactor k tt ~i ~value =
+  check k;
+  of_fun k (fun idx ->
+      let idx' =
+        if value then idx lor (1 lsl i) else idx land lnot (1 lsl i)
+      in
+      eval tt idx')
+
+let depends_on k tt i =
+  cofactor k tt ~i ~value:false <> cofactor k tt ~i ~value:true
+
+let support_size k tt =
+  let rec go i acc =
+    if i >= k then acc else go (i + 1) (if depends_on k tt i then acc + 1 else acc)
+  in
+  go 0 0
+
+let is_perm k perm =
+  Array.length perm = k
+  &&
+  let seen = Array.make k false in
+  Array.for_all
+    (fun p ->
+      if p < 0 || p >= k || seen.(p) then false
+      else begin
+        seen.(p) <- true;
+        true
+      end)
+    perm
+
+let permute k tt perm =
+  check k;
+  if not (is_perm k perm) then invalid_arg "Truth.permute: not a permutation";
+  of_fun k (fun idx ->
+      (* bit j of idx drives original input perm.(j) *)
+      let idx' = ref 0 in
+      for j = 0 to k - 1 do
+        if idx land (1 lsl j) <> 0 then idx' := !idx' lor (1 lsl perm.(j))
+      done;
+      eval tt !idx')
+
+let negate_input k tt i =
+  check k;
+  of_fun k (fun idx -> eval tt (idx lxor (1 lsl i)))
+
+let expand k tt ~extra =
+  check (k + extra);
+  of_fun (k + extra) (fun idx -> eval tt (idx land ((1 lsl k) - 1)))
+
+let to_string k tt =
+  String.init (1 lsl k) (fun idx -> if eval tt idx then '1' else '0')
+
+let pp k ppf tt = Format.fprintf ppf "%s (0x%x)" (to_string k tt) tt

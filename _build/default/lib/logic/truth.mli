@@ -1,0 +1,70 @@
+(** Small truth tables packed into a native [int].
+
+    A table over [k] inputs ([0 <= k <= 5]) occupies the low [2^k]
+    bits: bit [idx] is the function value on the input combination
+    whose bit [i] is the value of input [x_i].  These are the function
+    signatures used for cut matching in the technology mapper. *)
+
+type t = int
+
+(** [max_vars] is 5 (32-bit tables fit a native int comfortably). *)
+val max_vars : int
+
+(** [mask k] has the low [2^k] bits set. @raise Invalid_argument if
+    [k] is out of range. *)
+val mask : int -> t
+
+(** [of_fun k f] tabulates [f] over the [2^k] input combinations. *)
+val of_fun : int -> (int -> bool) -> t
+
+(** [eval tt idx] is bit [idx] of the table. *)
+val eval : t -> int -> bool
+
+(** [var k i] is the projection table of input [i] over [k] inputs. *)
+val var : int -> int -> t
+
+(** Connectives over [k]-input tables. *)
+
+val tnot : int -> t -> t
+
+val tand : t -> t -> t
+
+val tor : t -> t -> t
+
+val txor : t -> t -> t
+
+(** Constants over [k] inputs. *)
+
+val zero : t
+
+val ones : int -> t
+
+(** [cofactor k tt ~i ~value] is the [k]-input table with input [i]
+    fixed (the result no longer depends on [i]). *)
+val cofactor : int -> t -> i:int -> value:bool -> t
+
+(** [depends_on k tt i] tests real dependence on input [i]. *)
+val depends_on : int -> t -> int -> bool
+
+(** [support_size k tt] is the number of inputs [tt] depends on. *)
+val support_size : int -> t -> int
+
+(** [permute k tt perm] relabels inputs: the result's input [j] is the
+    original's input [perm.(j)], i.e.
+    [eval (permute k tt perm) idx = eval tt (apply perm idx)] where
+    bit [perm.(j)] of the permuted index is bit [j] of [idx].
+    @raise Invalid_argument if [perm] is not a permutation of [0..k-1]. *)
+val permute : int -> t -> int array -> t
+
+(** [negate_input k tt i] composes with the flip of input [i]. *)
+val negate_input : int -> t -> int -> t
+
+(** [expand k tt ~extra] widens a [k]-input table to [k + extra]
+    inputs that it ignores. *)
+val expand : int -> t -> extra:int -> t
+
+(** [to_string k tt] is the table as a [2^k]-character 0/1 string,
+    index 0 first; [pp] prints it with a [0x] hex form. *)
+val to_string : int -> t -> string
+
+val pp : int -> Format.formatter -> t -> unit

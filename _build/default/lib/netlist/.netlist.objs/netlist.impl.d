@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Bitvec Format Gate Printf String

@@ -1,0 +1,100 @@
+type cell_info = {
+  cell_name : string;
+  tt : Logic.Truth.t;
+  arity : int;
+  area : float;
+  delay : float;
+  input_cap : float;
+}
+
+type t =
+  | Input of int
+  | Const of bool
+  | Buf
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Cell of cell_info
+
+let arity = function
+  | Input _ | Const _ -> Some 0
+  | Buf | Not -> Some 1
+  | And | Or | Nand | Nor | Xor | Xnor -> None
+  | Cell c -> Some c.arity
+
+let check_arity g inputs =
+  match arity g with
+  | Some a when Array.length inputs <> a ->
+      invalid_arg
+        (Printf.sprintf "Gate.eval: %d fanins where %d expected"
+           (Array.length inputs) a)
+  | Some _ -> ()
+  | None ->
+      if Array.length inputs < 2 then
+        invalid_arg "Gate.eval: variadic gate needs >= 2 fanins"
+
+let eval g inputs =
+  check_arity g inputs;
+  match g with
+  | Input _ -> invalid_arg "Gate.eval: Input has no local function"
+  | Const b -> b
+  | Buf -> inputs.(0)
+  | Not -> not inputs.(0)
+  | And -> Array.for_all Fun.id inputs
+  | Or -> Array.exists Fun.id inputs
+  | Nand -> not (Array.for_all Fun.id inputs)
+  | Nor -> not (Array.exists Fun.id inputs)
+  | Xor -> Array.fold_left (fun acc b -> acc <> b) false inputs
+  | Xnor -> not (Array.fold_left (fun acc b -> acc <> b) false inputs)
+  | Cell c ->
+      let idx = ref 0 in
+      Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) inputs;
+      Logic.Truth.eval c.tt !idx
+
+(* Word-parallel evaluation: every bit position is an independent
+   pattern.  Cell truth tables are evaluated as a sum of minterms over
+   the fanin words (at most 2^4 terms for mapped cells). *)
+let eval_words g inputs =
+  check_arity g inputs;
+  let full = -1 in
+  match g with
+  | Input _ -> invalid_arg "Gate.eval_words: Input has no local function"
+  | Const b -> if b then full else 0
+  | Buf -> inputs.(0)
+  | Not -> lnot inputs.(0)
+  | And -> Array.fold_left ( land ) full inputs
+  | Or -> Array.fold_left ( lor ) 0 inputs
+  | Nand -> lnot (Array.fold_left ( land ) full inputs)
+  | Nor -> lnot (Array.fold_left ( lor ) 0 inputs)
+  | Xor -> Array.fold_left ( lxor ) 0 inputs
+  | Xnor -> lnot (Array.fold_left ( lxor ) 0 inputs)
+  | Cell c ->
+      let acc = ref 0 in
+      for idx = 0 to (1 lsl c.arity) - 1 do
+        if Logic.Truth.eval c.tt idx then begin
+          let term = ref full in
+          for i = 0 to c.arity - 1 do
+            let w = inputs.(i) in
+            term := !term land (if idx land (1 lsl i) <> 0 then w else lnot w)
+          done;
+          acc := !acc lor !term
+        end
+      done;
+      !acc
+
+let name = function
+  | Input i -> Printf.sprintf "input[%d]" i
+  | Const b -> if b then "const1" else "const0"
+  | Buf -> "buf"
+  | Not -> "not"
+  | And -> "and"
+  | Or -> "or"
+  | Nand -> "nand"
+  | Nor -> "nor"
+  | Xor -> "xor"
+  | Xnor -> "xnor"
+  | Cell c -> c.cell_name

@@ -1,0 +1,90 @@
+(** Combinational gate-level netlists.
+
+    Nodes are appended in topological order (every fanin id is smaller
+    than the node's id — enforced at construction), which makes
+    simulation and timing single linear passes.  The same type holds
+    technology-independent netlists (primitive gates) and mapped
+    netlists ([Gate.Cell] instances). *)
+
+module Gate = Gate
+
+type t
+
+(** [create ~ni] starts a netlist with [ni] primary inputs, which
+    occupy node ids [0 .. ni-1]. *)
+val create : ni:int -> t
+
+(** [ni t] is the primary input count; [node_count t] the total number
+    of nodes (inputs included). *)
+val ni : t -> int
+
+val node_count : t -> int
+
+(** [add t gate fanins] appends a node and returns its id.
+    @raise Invalid_argument if a fanin id is out of range (>= the new
+    node's id) or the gate/fanin arity mismatch. *)
+val add : t -> Gate.t -> int array -> int
+
+(** [set_outputs t ids] declares the primary outputs.
+    @raise Invalid_argument on a bad id. *)
+val set_outputs : t -> int array -> unit
+
+val outputs : t -> int array
+
+val no : t -> int
+
+(** [gate t id] and [fanins t id] inspect a node. *)
+val gate : t -> int -> Gate.t
+
+val fanins : t -> int -> int array
+
+(** [iter_nodes t f] visits non-input nodes in topological order. *)
+val iter_nodes : t -> (int -> Gate.t -> int array -> unit) -> unit
+
+(** [eval t inputs] evaluates all outputs on one input vector. *)
+val eval : t -> bool array -> bool array
+
+(** [eval_minterm t m] evaluates on the minterm encoding of the
+    inputs (bit [i] = input [i]). *)
+val eval_minterm : t -> int -> bool array
+
+(** [output_tables t] simulates all [2^ni] patterns word-parallel and
+    returns one characteristic bit-vector per output.
+    @raise Invalid_argument when [ni > 20]. *)
+val output_tables : t -> Bitvec.Bv.t array
+
+(** [signal_probs t] is the exact probability of each *node* being 1
+    under uniform random inputs (exhaustive; [ni <= 20]). *)
+val signal_probs : t -> float array
+
+(** Statistics. *)
+
+(** [gate_count t] counts non-input, non-constant nodes. *)
+val gate_count : t -> int
+
+(** [area t] sums [Cell] areas; primitive gates count via
+    [~primitive_area] (default 1.0 per gate, inputs/consts 0). *)
+val area : ?primitive_area:float -> t -> float
+
+(** [depth t] is the maximum logic depth in gate levels. *)
+val depth : t -> int
+
+(** [delay t] is the critical-path delay using cell delays
+    ([~primitive_delay], default 1.0, for unmapped gates). *)
+val delay : ?primitive_delay:float -> t -> float
+
+(** [dynamic_power t] is  sum over nets of
+    (switching activity x driven capacitance), with activity
+    [2 p (1-p)] from exact signal probabilities and capacitance the
+    sum of driven [Cell] pin caps ([~primitive_cap] default 1.0 per
+    driven primitive pin).  A technology-independent dynamic power
+    proxy in library units. *)
+val dynamic_power : ?primitive_cap:float -> t -> float
+
+(** [pp] prints a readable listing. *)
+val pp : Format.formatter -> t -> unit
+
+(** [replace_gate t id gate] swaps a node's gate in place; the fanins
+    are kept, so the new gate must accept the same arity.
+    @raise Invalid_argument on inputs, arity mismatch or bad id. *)
+val replace_gate : t -> int -> Gate.t -> unit

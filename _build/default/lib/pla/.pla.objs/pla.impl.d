@@ -1,0 +1,1 @@
+lib/pla/pla.ml: Array Bitvec Buffer Format List Printf Spec String Twolevel

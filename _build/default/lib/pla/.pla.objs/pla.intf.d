@@ -1,0 +1,1 @@
+lib/pla/pla.mli: Spec Twolevel

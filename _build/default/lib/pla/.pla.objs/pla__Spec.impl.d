@@ -1,0 +1,1 @@
+lib/pla/spec.ml: Array Bitvec Bytes Format List Twolevel

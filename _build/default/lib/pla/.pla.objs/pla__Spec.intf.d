@@ -1,0 +1,1 @@
+lib/pla/spec.mli: Bitvec Format Twolevel

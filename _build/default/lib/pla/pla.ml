@@ -1,0 +1,200 @@
+module Spec = Spec
+
+type pla_type = F | Fd | Fr | Fdr
+
+type t = {
+  spec : Spec.t;
+  input_names : string array;
+  output_names : string array;
+  ty : pla_type;
+}
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let default_names ~ni ~no =
+  ( Array.init ni (fun i -> Printf.sprintf "x%d" i),
+    Array.init no (fun o -> Printf.sprintf "y%d" o) )
+
+type line =
+  | Directive of string * string list
+  | Term of string * string
+  | Blank
+
+let classify_line raw =
+  let line =
+    match String.index_opt raw '#' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  let line = String.map (function '\t' | '\r' -> ' ' | c -> c) line in
+  let line = String.trim line in
+  if line = "" then Blank
+  else if line.[0] = '.' then
+    match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+    | d :: args -> Directive (d, args)
+    | [] -> Blank
+  else
+    match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+    | [ ins; outs ] -> Term (ins, outs)
+    | [ single ] ->
+        (* Single-output PLAs sometimes omit the space; split on width
+           later — here treat as error since we can't know .i yet. *)
+        Term (single, "")
+    | _ -> fail "malformed product term: %S" line
+
+let pla_type_of_string = function
+  | "f" -> F
+  | "fd" -> Fd
+  | "fr" -> Fr
+  | "fdr" -> Fdr
+  | s -> fail "unknown .type %S" s
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let ni = ref (-1) and no = ref (-1) in
+  let ilb = ref None and ob = ref None in
+  let ty = ref Fd in
+  let terms = ref [] in
+  let ended = ref false in
+  List.iter
+    (fun raw ->
+      if not !ended then
+        match classify_line raw with
+        | Blank -> ()
+        | Directive (".i", [ v ]) -> ni := int_of_string v
+        | Directive (".o", [ v ]) -> no := int_of_string v
+        | Directive (".p", _) -> () (* informational *)
+        | Directive (".ilb", names) -> ilb := Some (Array.of_list names)
+        | Directive (".ob", names) -> ob := Some (Array.of_list names)
+        | Directive (".type", [ v ]) -> ty := pla_type_of_string v
+        | Directive ((".e" | ".end"), _) -> ended := true
+        | Directive (d, _) -> fail "unsupported directive %S" d
+        | Term (ins, outs) -> terms := (ins, outs) :: !terms)
+    lines;
+  if !ni < 0 then fail "missing .i";
+  if !no < 0 then fail "missing .o";
+  let ni = !ni and no = !no in
+  if ni > 20 then fail ".i %d exceeds dense representation limit (20)" ni;
+  let default = match !ty with Fr -> Spec.Dc | F | Fd | Fdr -> Spec.Off in
+  let spec = Spec.create ~ni ~no ~default in
+  let apply_term (ins, outs) =
+    if String.length ins <> ni then fail "term %S: expected %d inputs" ins ni;
+    if String.length outs <> no then
+      fail "term %S %S: expected %d outputs" ins outs no;
+    let cube =
+      try Twolevel.Cube.of_string ins
+      with Invalid_argument _ -> fail "term %S: bad input character" ins
+    in
+    Twolevel.Cube.iter_minterms ~n:ni
+      (fun m ->
+        String.iteri
+          (fun o c ->
+            match (c, !ty) with
+            | '1', _ | '4', _ -> Spec.set spec ~o ~m Spec.On
+            | ('-' | '~' | '2'), (Fd | Fdr) -> Spec.set spec ~o ~m Spec.Dc
+            | ('-' | '~' | '2'), (F | Fr) -> () (* no information *)
+            | '0', (Fr | Fdr) -> Spec.set spec ~o ~m Spec.Off
+            | '0', (F | Fd) -> () (* no information *)
+            | c, _ -> fail "bad output character %C" c)
+          outs)
+      cube;
+    ()
+  in
+  List.iter apply_term (List.rev !terms);
+  let input_names, output_names =
+    let di, dd = default_names ~ni ~no in
+    ( (match !ilb with Some a when Array.length a = ni -> a | _ -> di),
+      match !ob with Some a when Array.length a = no -> a | _ -> dd )
+  in
+  { spec; input_names; output_names; ty = !ty }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let type_to_string = function F -> "f" | Fd -> "fd" | Fr -> "fr" | Fdr -> "fdr"
+
+let to_string ?(ty = Fdr) spec =
+  let ni = Spec.ni spec and no = Spec.no spec in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf ".i %d\n.o %d\n.type %s\n" ni no (type_to_string ty);
+  (* One line per minterm that carries information for some output. *)
+  let nterms = ref 0 in
+  let body = Buffer.create 1024 in
+  for m = 0 to (1 lsl ni) - 1 do
+    let outs =
+      String.init no (fun o ->
+          match (Spec.get spec ~o ~m, ty) with
+          | Spec.On, _ -> '1'
+          | Spec.Dc, (Fd | Fdr | Fr) -> '-'
+          | Spec.Dc, F -> invalid_arg "Pla.to_string: type f cannot hold DCs"
+          | Spec.Off, _ -> '0')
+    in
+    (* Characters that merely restate the type's default carry no
+       information and a line of only those is omitted. *)
+    let informative =
+      String.exists
+        (fun c ->
+          match (c, ty) with
+          | '1', _ -> true
+          | '-', (Fd | Fdr) -> true (* default is off *)
+          | '-', (F | Fr) -> false
+          | '0', (Fr | Fdr) -> true
+          | '0', (F | Fd) -> false
+          | _, _ -> false)
+        outs
+    in
+    if informative then begin
+      incr nterms;
+      Printf.bprintf body "%s %s\n" (Bitvec.Minterm.to_string ~n:ni m) outs
+    end
+  done;
+  Printf.bprintf buf ".p %d\n" !nterms;
+  Buffer.add_buffer buf body;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+let write_file path spec =
+  let oc = open_out path in
+  output_string oc (to_string spec);
+  close_out oc
+
+let to_string_covers ~ni covers =
+  if covers = [] then invalid_arg "Pla.to_string_covers: no outputs";
+  let no = List.length covers in
+  List.iteri
+    (fun o (on, dc) ->
+      if Twolevel.Cover.n on <> ni || Twolevel.Cover.n dc <> ni then
+        invalid_arg
+          (Printf.sprintf "Pla.to_string_covers: output %d arity mismatch" o))
+    covers;
+  let buf = Buffer.create 1024 in
+  (* collect (input cube, output chars) lines: one line per cube, with
+     '1'/'-' in this output's column and '0' (no info under fd)
+     elsewhere *)
+  let lines = ref [] in
+  List.iteri
+    (fun o (on, dc) ->
+      let emit ch cube =
+        let outs = String.init no (fun i -> if i = o then ch else '0') in
+        lines := (Twolevel.Cube.to_string ~n:ni cube, outs) :: !lines
+      in
+      List.iter (emit '1') (Twolevel.Cover.cubes on);
+      List.iter (emit '-') (Twolevel.Cover.cubes dc))
+    covers;
+  let lines = List.rev !lines in
+  Printf.bprintf buf ".i %d\n.o %d\n.type fd\n.p %d\n" ni no
+    (List.length lines);
+  List.iter (fun (ins, outs) -> Printf.bprintf buf "%s %s\n" ins outs) lines;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+let to_string_minimized spec =
+  let ni = Spec.ni spec in
+  to_string_covers ~ni
+    (List.init (Spec.no spec) (fun o -> (Spec.on_cover spec ~o, Spec.dc_cover spec ~o)))

@@ -1,0 +1,60 @@
+(** Berkeley .pla format reading and writing.
+
+    Supports the espresso dialect the MCNC benchmarks use: [.i], [.o],
+    [.p], [.ilb], [.ob], [.type fd|fr|fdr|f], product-term lines with
+    input characters [0 1 - 2] and output characters [0 1 - ~ 2 4], and
+    [.e]/[.end].  Semantics follow espresso:
+
+    - type [fd] (default): output '1' adds to the on-set, '-' to the
+      DC-set, '0' means "no information" (off by default);
+    - type [fr]: '1' on-set, '0' off-set, '-' no information;
+    - type [fdr]: '1' on, '0' off, '-' DC — fully explicit;
+    - type [f]: '1' on, everything else off.
+
+    Anything not mentioned by any product term defaults to the off-set
+    ([fd], [f]), to the DC-set ([fr] — unspecified minterms are free),
+    or is an error to leave unmentioned for [fdr] (we default to off). *)
+
+module Spec = Spec
+
+type pla_type = F | Fd | Fr | Fdr
+
+type t = {
+  spec : Spec.t;
+  input_names : string array;
+  output_names : string array;
+  ty : pla_type;
+}
+
+exception Parse_error of string
+
+(** [parse_string s] parses .pla text. @raise Parse_error on bad input. *)
+val parse_string : string -> t
+
+(** [parse_file path] reads and parses a file. *)
+val parse_file : string -> t
+
+(** [to_string ?ty t] renders a spec; by default type [fdr], writing
+    one product line per care/DC minterm group using per-output covers
+    compressed with single-cube containment only (exact, not
+    minimised). *)
+val to_string : ?ty:pla_type -> Spec.t -> string
+
+(** [write_file path spec] writes [to_string spec] to [path]. *)
+val write_file : string -> Spec.t -> unit
+
+(** [default_names ~ni ~no] are names [x0..] / [y0..]. *)
+val default_names : ni:int -> no:int -> string array * string array
+
+(** [to_string_covers ~ni covers] renders per-output (on, dc) cover
+    pairs as a compact cube-level [.type fd] PLA — the natural format
+    after minimisation (one line per cube instead of one per minterm).
+    @raise Invalid_argument on arity mismatch or empty list. *)
+val to_string_covers :
+  ni:int -> (Twolevel.Cover.t * Twolevel.Cover.t) list -> string
+
+(** [to_string_minimized spec] is {!to_string_covers} applied to the
+    spec's raw per-output minterm covers — a convenience when no
+    minimised covers are at hand (minimisation itself lives in
+    {!Espresso}). *)
+val to_string_minimized : Spec.t -> string

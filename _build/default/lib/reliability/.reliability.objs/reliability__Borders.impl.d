@@ -1,0 +1,1 @@
+lib/reliability/borders.ml: Pla

@@ -1,0 +1,1 @@
+lib/reliability/error_rate.ml: Array Bitvec Netlist Pla

@@ -1,0 +1,1 @@
+lib/reliability/error_rate.mli: Bitvec Netlist Pla

@@ -1,0 +1,1 @@
+lib/reliability/estimate.ml: Borders Pla Stats

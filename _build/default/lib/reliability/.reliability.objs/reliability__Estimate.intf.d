@@ -1,0 +1,1 @@
+lib/reliability/estimate.mli: Pla

@@ -1,0 +1,1 @@
+lib/reliability/fault_sim.ml: Array Netlist Pla Random

@@ -1,0 +1,1 @@
+lib/reliability/fault_sim.mli: Netlist Pla Random

@@ -1,0 +1,1 @@
+lib/reliability/sym.ml: Bdd Estimate Pla

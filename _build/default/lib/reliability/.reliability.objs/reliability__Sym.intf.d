@@ -1,0 +1,1 @@
+lib/reliability/sym.mli: Bdd Estimate Pla Twolevel

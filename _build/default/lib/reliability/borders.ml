@@ -1,0 +1,67 @@
+module Spec = Pla.Spec
+
+let ordered_pairs spec = Spec.ni spec * Spec.size spec
+
+let same_phase_pairs spec ~o =
+  let n = Spec.ni spec in
+  let count = ref 0 in
+  for m = 0 to Spec.size spec - 1 do
+    let p = Spec.get spec ~o ~m in
+    for j = 0 to n - 1 do
+      if Spec.get spec ~o ~m:(m lxor (1 lsl j)) = p then incr count
+    done
+  done;
+  !count
+
+let complexity_factor spec ~o =
+  float_of_int (same_phase_pairs spec ~o) /. float_of_int (ordered_pairs spec)
+
+let mean_over_outputs f spec =
+  let no = Spec.no spec in
+  let acc = ref 0.0 in
+  for o = 0 to no - 1 do
+    acc := !acc +. f spec ~o
+  done;
+  !acc /. float_of_int no
+
+let mean_complexity_factor spec = mean_over_outputs complexity_factor spec
+
+let expected_complexity_factor spec ~o =
+  let f1, f0, fdc = Spec.signal_probs spec ~o in
+  (f0 *. f0) +. (f1 *. f1) +. (fdc *. fdc)
+
+let mean_expected_complexity_factor spec =
+  mean_over_outputs expected_complexity_factor spec
+
+let local_complexity_factor spec ~o ~m =
+  let n = Spec.ni spec in
+  let count = ref 0 in
+  for j = 0 to n - 1 do
+    let xj = m lxor (1 lsl j) in
+    let pj = Spec.get spec ~o ~m:xj in
+    (* x_k ranges over all n neighbours of x_j — including m itself
+       (flipping bit j again), which the paper's definition admits. *)
+    for k = 0 to n - 1 do
+      let xk = xj lxor (1 lsl k) in
+      if Spec.get spec ~o ~m:xk = pj then incr count
+    done
+  done;
+  float_of_int !count /. float_of_int (n * n)
+
+type counts = { b0 : int; b1 : int; bdc : int }
+
+let border_counts spec ~o =
+  let n = Spec.ni spec in
+  let b0 = ref 0 and b1 = ref 0 and bdc = ref 0 in
+  for m = 0 to Spec.size spec - 1 do
+    let p = Spec.get spec ~o ~m in
+    for j = 0 to n - 1 do
+      let p' = Spec.get spec ~o ~m:(m lxor (1 lsl j)) in
+      if p' <> p then
+        match p with
+        | Spec.Off -> incr b0
+        | Spec.On -> incr b1
+        | Spec.Dc -> incr bdc
+    done
+  done;
+  { b0 = !b0; b1 = !b1; bdc = !bdc }

@@ -1,0 +1,32 @@
+(** Complexity factors and border counts (Sections 2.2, 4, 5).
+
+    All quantities are per output; [mean_*] helpers average across the
+    outputs of a multi-output specification. *)
+
+(** [complexity_factor spec ~o] is the normalised complexity factor
+    C^f: the fraction of ordered 1-Hamming-distance minterm pairs that
+    share a phase (on/off/DC). *)
+val complexity_factor : Pla.Spec.t -> o:int -> float
+
+val mean_complexity_factor : Pla.Spec.t -> float
+
+(** [expected_complexity_factor spec ~o] is
+    E[C^f] = f0^2 + f1^2 + fdc^2. *)
+val expected_complexity_factor : Pla.Spec.t -> o:int -> float
+
+val mean_expected_complexity_factor : Pla.Spec.t -> float
+
+(** [local_complexity_factor spec ~o ~m] is LC^f(m): among the n^2
+    ordered pairs (x_j, x_k) with x_j a neighbour of [m] and x_k a
+    neighbour of x_j, the fraction sharing a phase. *)
+val local_complexity_factor : Pla.Spec.t -> o:int -> m:int -> float
+
+(** Border counts: ordered pairs (x_i, x_j) at Hamming distance 1 with
+    [x_i] in the named set and [x_j] outside it. *)
+type counts = { b0 : int; b1 : int; bdc : int }
+
+val border_counts : Pla.Spec.t -> o:int -> counts
+
+(** Invariant used in tests: [1 - C^f] equals
+    [(b0 + b1 + bdc) / (n * 2^n)]. *)
+val same_phase_pairs : Pla.Spec.t -> o:int -> int

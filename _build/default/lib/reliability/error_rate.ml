@@ -1,0 +1,135 @@
+module Spec = Pla.Spec
+module Bv = Bitvec.Bv
+
+let events ~n = float_of_int (n * (1 lsl n))
+
+let of_table spec ~o ~impl =
+  let n = Spec.ni spec in
+  let size = Spec.size spec in
+  if Bv.length impl <> size then invalid_arg "Error_rate.of_table: length";
+  let count = ref 0 in
+  for m = 0 to size - 1 do
+    match Spec.get spec ~o ~m with
+    | Spec.Dc -> () (* errors cannot originate in the DC space *)
+    | Spec.On | Spec.Off ->
+        let v = Bv.get impl m in
+        for j = 0 to n - 1 do
+          if Bv.get impl (m lxor (1 lsl j)) <> v then incr count
+        done
+  done;
+  float_of_int !count /. events ~n
+
+let of_tables spec tables =
+  if Array.length tables <> Spec.no spec then
+    invalid_arg "Error_rate.of_tables: output count";
+  let total = ref 0.0 in
+  Array.iteri (fun o impl -> total := !total +. of_table spec ~o ~impl) tables;
+  !total /. float_of_int (Spec.no spec)
+
+let of_netlist spec nl =
+  if Netlist.ni nl <> Spec.ni spec then
+    invalid_arg "Error_rate.of_netlist: input count";
+  of_tables spec (Netlist.output_tables nl)
+
+type bounds = { base : float; min_dc : float; max_dc : float }
+
+let bounds spec ~o =
+  let n = Spec.ni spec in
+  let size = Spec.size spec in
+  let base = ref 0 and min_dc = ref 0 and max_dc = ref 0 in
+  for m = 0 to size - 1 do
+    match Spec.get spec ~o ~m with
+    | Spec.On | Spec.Off ->
+        (* Count care->care opposite-phase transitions; both directions
+           appear because we visit both endpoints. *)
+        let my = Spec.get spec ~o ~m in
+        for j = 0 to n - 1 do
+          let m' = m lxor (1 lsl j) in
+          match Spec.get spec ~o ~m:m' with
+          | Spec.Dc -> ()
+          | p -> if p <> my then incr base
+        done
+    | Spec.Dc ->
+        let on, off, _ = Spec.neighbour_counts spec ~o ~m in
+        min_dc := !min_dc + min on off;
+        max_dc := !max_dc + max on off
+  done;
+  let ev = events ~n in
+  {
+    base = float_of_int !base /. ev;
+    min_dc = float_of_int !min_dc /. ev;
+    max_dc = float_of_int !max_dc /. ev;
+  }
+
+let mean_bounds spec =
+  let no = Spec.no spec in
+  let acc = ref { base = 0.0; min_dc = 0.0; max_dc = 0.0 } in
+  for o = 0 to no - 1 do
+    let b = bounds spec ~o in
+    acc :=
+      {
+        base = !acc.base +. b.base;
+        min_dc = !acc.min_dc +. b.min_dc;
+        max_dc = !acc.max_dc +. b.max_dc;
+      }
+  done;
+  let k = float_of_int no in
+  { base = !acc.base /. k; min_dc = !acc.min_dc /. k; max_dc = !acc.max_dc /. k }
+
+let min_rate b = b.base +. b.min_dc
+let max_rate b = b.base +. b.max_dc
+
+let of_spec_assigned spec ~o =
+  let size = Spec.size spec in
+  let impl = Bv.create size in
+  for m = 0 to size - 1 do
+    if Spec.output_value spec ~o ~m then Bv.set impl m
+  done;
+  of_table spec ~o ~impl
+
+let impl_table assigned ~o =
+  let impl = Bv.create (Spec.size assigned) in
+  for m = 0 to Spec.size assigned - 1 do
+    if Spec.output_value assigned ~o ~m then Bv.set impl m
+  done;
+  impl
+
+(* Iterate all k-subsets of inputs as XOR masks. *)
+let iter_flip_masks ~n ~k f =
+  let rec go start mask chosen =
+    if chosen = k then f mask
+    else
+      for j = start to n - 1 do
+        go (j + 1) (mask lor (1 lsl j)) (chosen + 1)
+      done
+  in
+  go 0 0 0
+
+let binomial n k =
+  let rec go i acc = if i > k then acc else go (i + 1) (acc * (n - i + 1) / i) in
+  go 1 1
+
+let of_table_kbit spec ~o ~impl ~k =
+  let n = Spec.ni spec in
+  if k < 1 || k > n then invalid_arg "Error_rate.of_table_kbit: bad k";
+  let size = Spec.size spec in
+  if Bv.length impl <> size then invalid_arg "Error_rate.of_table_kbit";
+  let count = ref 0 in
+  for m = 0 to size - 1 do
+    match Spec.get spec ~o ~m with
+    | Spec.Dc -> ()
+    | Spec.On | Spec.Off ->
+        let v = Bv.get impl m in
+        iter_flip_masks ~n ~k (fun mask ->
+            if Bv.get impl (m lxor mask) <> v then incr count)
+  done;
+  float_of_int !count /. (float_of_int (binomial n k) *. float_of_int size)
+
+let of_tables_kbit spec tables ~k =
+  if Array.length tables <> Spec.no spec then
+    invalid_arg "Error_rate.of_tables_kbit";
+  let total = ref 0.0 in
+  Array.iteri
+    (fun o impl -> total := !total +. of_table_kbit spec ~o ~impl ~k)
+    tables;
+  !total /. float_of_int (Spec.no spec)

@@ -1,0 +1,125 @@
+module Spec = Pla.Spec
+
+type interval = { lo : float; hi : float }
+
+let signal_from ~n ~f1 ~f0 ~fdc =
+  let n = float_of_int n in
+  let base = 2.0 *. f0 *. f1 in
+  if fdc = 0.0 then { lo = base; hi = base }
+  else begin
+    (* Y = sum over n neighbours of (+1 on, -1 off, 0 dc). *)
+    let mu = n *. (f1 -. f0) in
+    let var = n *. (f1 +. f0 -. ((f1 -. f0) ** 2.0)) in
+    let e_abs_y =
+      if var <= 0.0 then abs_float mu
+      else Stats.folded_normal_mean ~mu ~sigma:(sqrt var)
+    in
+    (* E[min] = (n - E|Y|)/2 per DC minterm; as a rate: x fdc / n. *)
+    let min_dc = fdc *. (n -. e_abs_y) /. (2.0 *. n) in
+    let max_dc = fdc *. (n +. e_abs_y) /. (2.0 *. n) in
+    { lo = base +. min_dc; hi = base +. max_dc }
+  end
+
+let signal_based spec ~o =
+  let f1, f0, fdc = Spec.signal_probs spec ~o in
+  signal_from ~n:(Spec.ni spec) ~f1 ~f0 ~fdc
+
+(* Shared scaffolding for the two border-based neighbour models. *)
+let border_scaffold ~n ~f1 ~f0 ~fdc ~b0 ~b1 ~bdc =
+  let nf = float_of_int n in
+  let size = 2.0 ** float_of_int n in
+  let base =
+    let t1 = if f0 +. fdc > 0.0 then b1 /. size *. (f0 /. (f0 +. fdc)) else 0.0 in
+    let t0 = if f1 +. fdc > 0.0 then b0 /. size *. (f1 /. (f1 +. fdc)) else 0.0 in
+    (t1 +. t0) /. nf
+  in
+  let nb = if fdc > 0.0 then bdc /. (fdc *. size) else 0.0 in
+  let p_on = if b0 +. b1 > 0.0 then b1 /. (b0 +. b1) else 0.5 in
+  (nf, base, nb, p_on)
+
+(* Expected min/max of (X, Nb - X) for a neighbour-count distribution
+   given as a pmf over 0..kmax. *)
+let min_max_expectation ~nb ~kmax pmf =
+  let half = int_of_float (floor (nb /. 2.0)) in
+  let e_min = ref 0.0 and e_max = ref 0.0 in
+  for i = 0 to kmax do
+    let p = pmf i in
+    let fi = float_of_int i in
+    let other = nb -. fi in
+    if i <= half then begin
+      e_min := !e_min +. (fi *. p);
+      e_max := !e_max +. (other *. p)
+    end
+    else begin
+      e_min := !e_min +. (other *. p);
+      e_max := !e_max +. (fi *. p)
+    end
+  done;
+  (* Clamp: with a truncated/approximate pmf the "other" terms can go
+     slightly negative near the tail. *)
+  (max 0.0 !e_min, max 0.0 !e_max)
+
+let border_from ~n ~f1 ~f0 ~fdc ~b0 ~b1 ~bdc =
+  let nf, base, nb, p_on = border_scaffold ~n ~f1 ~f0 ~fdc ~b0 ~b1 ~bdc in
+  if fdc = 0.0 || nb = 0.0 then { lo = base; hi = base }
+  else begin
+    let lambda = nb *. p_on in
+    let kmax = int_of_float (ceil nb) in
+    let e_min, e_max =
+      min_max_expectation ~nb ~kmax (fun i -> Stats.poisson_pmf ~lambda i)
+    in
+    { lo = base +. (fdc *. e_min /. nf); hi = base +. (fdc *. e_max /. nf) }
+  end
+
+let spec_counts spec ~o =
+  let f1, f0, fdc = Spec.signal_probs spec ~o in
+  let { Borders.b0; b1; bdc } = Borders.border_counts spec ~o in
+  (f1, f0, fdc, float_of_int b0, float_of_int b1, float_of_int bdc)
+
+let border_based spec ~o =
+  let f1, f0, fdc, b0, b1, bdc = spec_counts spec ~o in
+  border_from ~n:(Spec.ni spec) ~f1 ~f0 ~fdc ~b0 ~b1 ~bdc
+
+let binomial_pmf ~n ~p k =
+  if k < 0 || k > n then 0.0
+  else begin
+    let log_c =
+      Stats.log_factorial n -. Stats.log_factorial k
+      -. Stats.log_factorial (n - k)
+    in
+    let log_p =
+      (if k = 0 then 0.0 else float_of_int k *. log p)
+      +. if n - k = 0 then 0.0 else float_of_int (n - k) *. log (1.0 -. p)
+    in
+    exp (log_c +. log_p)
+  end
+
+let binomial_border_based spec ~o =
+  let f1, f0, fdc, b0, b1, bdc = spec_counts spec ~o in
+  let nf, base, nb, p_on =
+    border_scaffold ~n:(Spec.ni spec) ~f1 ~f0 ~fdc ~b0 ~b1 ~bdc
+  in
+  if fdc = 0.0 || nb = 0.0 then { lo = base; hi = base }
+  else begin
+    let trials = max 1 (int_of_float (floor (nb +. 0.5))) in
+    let p = min 1.0 (max 0.0 p_on) in
+    let p = if p = 0.0 then 1e-12 else if p = 1.0 then 1.0 -. 1e-12 else p in
+    let e_min, e_max =
+      min_max_expectation ~nb ~kmax:trials (fun i ->
+          binomial_pmf ~n:trials ~p i)
+    in
+    { lo = base +. (fdc *. e_min /. nf); hi = base +. (fdc *. e_max /. nf) }
+  end
+
+let mean_over spec f =
+  let no = Spec.no spec in
+  let lo = ref 0.0 and hi = ref 0.0 in
+  for o = 0 to no - 1 do
+    let iv = f spec ~o in
+    lo := !lo +. iv.lo;
+    hi := !hi +. iv.hi
+  done;
+  { lo = !lo /. float_of_int no; hi = !hi /. float_of_int no }
+
+let mean_signal_based spec = mean_over spec signal_based
+let mean_border_based spec = mean_over spec border_based

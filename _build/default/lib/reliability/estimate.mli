@@ -1,0 +1,54 @@
+(** Analytical min–max reliability estimates (Section 5).
+
+    Two estimators of the bounds that {!Error_rate.bounds} computes
+    exactly, both avoiding minterm enumeration beyond cheap counts:
+
+    - the {e signal-probability} estimate models the on/off phase of
+      each neighbour as i.i.d. draws from the signal probabilities and
+      approximates the neighbour-balance variable Y by a Gaussian;
+    - the {e border-based} estimate incorporates structure through the
+      border counts b0/b1/bDC and models a DC minterm's on-neighbour
+      count as a Poisson variable.
+
+    All values are rates under the same [n * 2^n] normalisation as
+    {!Error_rate}. *)
+
+type interval = { lo : float; hi : float }
+
+(** [signal_based spec ~o] — Gaussian estimate from (f0, f1, fdc). *)
+val signal_based : Pla.Spec.t -> o:int -> interval
+
+(** [border_based spec ~o] — Poisson estimate from border counts. *)
+val border_based : Pla.Spec.t -> o:int -> interval
+
+(** Means across outputs. *)
+
+val mean_signal_based : Pla.Spec.t -> interval
+
+val mean_border_based : Pla.Spec.t -> interval
+
+(** [binomial_border_based spec ~o] is the variant the paper mentions
+    and rejects — modelling the on-neighbour count as Binomial(Nb, p)
+    instead of Poisson — kept for the ablation benchmark. *)
+val binomial_border_based : Pla.Spec.t -> o:int -> interval
+
+(** Pure-number variants used by the symbolic (BDD) analysis path, so
+    estimates can be computed without a dense specification. *)
+
+(** [signal_from ~n ~f1 ~f0 ~fdc] — the Gaussian estimate from signal
+    probabilities alone. *)
+val signal_from : n:int -> f1:float -> f0:float -> fdc:float -> interval
+
+(** [border_from ~n ~f1 ~f0 ~fdc ~b0 ~b1 ~bdc] — the Poisson estimate
+    from signal probabilities and border counts; [b0]/[b1]/[bdc] are
+    raw ordered-pair counts, [size = 2^n] is inferred from [n] as a
+    float so the function also serves n > 62. *)
+val border_from :
+  n:int ->
+  f1:float ->
+  f0:float ->
+  fdc:float ->
+  b0:float ->
+  b1:float ->
+  bdc:float ->
+  interval

@@ -1,0 +1,29 @@
+module Spec = Pla.Spec
+
+type result = { trials : int; propagated : int; rate : float }
+
+let run ~rng ~trials spec nl =
+  if Netlist.ni nl <> Spec.ni spec then
+    invalid_arg "Fault_sim.run: input count mismatch";
+  if trials <= 0 then invalid_arg "Fault_sim.run: trials must be positive";
+  let n = Spec.ni spec in
+  let size = Spec.size spec in
+  let no = Spec.no spec in
+  let propagated = ref 0 in
+  for _ = 1 to trials do
+    let m = Random.State.int rng size in
+    let j = Random.State.int rng n in
+    let outs = Netlist.eval_minterm nl m in
+    let outs' = Netlist.eval_minterm nl (m lxor (1 lsl j)) in
+    for o = 0 to no - 1 do
+      (* Errors only originate at care vectors of this output. *)
+      match Spec.get spec ~o ~m with
+      | Spec.Dc -> ()
+      | Spec.On | Spec.Off -> if outs.(o) <> outs'.(o) then incr propagated
+    done
+  done;
+  {
+    trials;
+    propagated = !propagated;
+    rate = float_of_int !propagated /. float_of_int (trials * no);
+  }

@@ -1,0 +1,22 @@
+(** Monte-Carlo single-bit input-error injection on mapped circuits.
+
+    Validates the analytic error-rate computation against actual
+    circuit behaviour: a random care vector is applied, a random input
+    flipped, the circuit evaluated twice, and the outputs compared.
+    With enough trials the estimate converges to
+    {!Error_rate.of_netlist}. *)
+
+type result = {
+  trials : int;
+  propagated : int;  (** per-output propagation events observed *)
+  rate : float;  (** propagated / (trials * outputs) *)
+}
+
+(** [run ~rng ~trials spec nl] injects [trials] random error events.
+    Each event picks a uniform random minterm that is a care vector
+    for at least one output and a uniform random input to flip; an
+    event counts once per output whose value changes and whose
+    correct-vector phase is a care phase.
+    @raise Invalid_argument if netlist and spec input counts differ
+    or [trials <= 0]. *)
+val run : rng:Random.State.t -> trials:int -> Pla.Spec.t -> Netlist.t -> result

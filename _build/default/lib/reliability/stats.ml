@@ -1,0 +1,43 @@
+let erf x =
+  (* Abramowitz & Stegun 7.1.26. *)
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = abs_float x in
+  let a1 = 0.254829592 and a2 = -0.284496736 and a3 = 1.421413741 in
+  let a4 = -1.453152027 and a5 = 1.061405429 and p = 0.3275911 in
+  let t = 1.0 /. (1.0 +. (p *. x)) in
+  let poly = ((((((((a5 *. t) +. a4) *. t) +. a3) *. t) +. a2) *. t) +. a1) *. t in
+  sign *. (1.0 -. (poly *. exp (-.x *. x)))
+
+let normal_cdf ~mu ~sigma x =
+  if sigma <= 0.0 then invalid_arg "Stats.normal_cdf: sigma must be positive";
+  0.5 *. (1.0 +. erf ((x -. mu) /. (sigma *. sqrt 2.0)))
+
+let folded_normal_mean ~mu ~sigma =
+  if sigma < 0.0 then invalid_arg "Stats.folded_normal_mean: negative sigma";
+  if sigma = 0.0 then abs_float mu
+  else
+    let pi = 4.0 *. atan 1.0 in
+    (sigma *. sqrt (2.0 /. pi) *. exp (-.(mu *. mu) /. (2.0 *. sigma *. sigma)))
+    +. (mu *. (1.0 -. (2.0 *. normal_cdf ~mu:0.0 ~sigma:1.0 (-.mu /. sigma))))
+
+let log_factorial k =
+  if k < 0 then invalid_arg "Stats.log_factorial: negative";
+  if k <= 20 then begin
+    let acc = ref 0.0 in
+    for i = 2 to k do
+      acc := !acc +. log (float_of_int i)
+    done;
+    !acc
+  end
+  else
+    (* Stirling with first correction term. *)
+    let kf = float_of_int k in
+    (kf *. log kf) -. kf
+    +. (0.5 *. log (2.0 *. (4.0 *. atan 1.0) *. kf))
+    +. (1.0 /. (12.0 *. kf))
+
+let poisson_pmf ~lambda k =
+  if lambda < 0.0 then invalid_arg "Stats.poisson_pmf: negative lambda";
+  if k < 0 then invalid_arg "Stats.poisson_pmf: negative k";
+  if lambda = 0.0 then if k = 0 then 1.0 else 0.0
+  else exp ((float_of_int k *. log lambda) -. lambda -. log_factorial k)

@@ -1,0 +1,22 @@
+(** Numerical helpers for the analytical reliability estimates:
+    the Gaussian error function, folded-normal mean, and the Poisson
+    probability mass function. *)
+
+(** [erf x] — Abramowitz & Stegun 7.1.26 rational approximation,
+    absolute error below 1.5e-7. *)
+val erf : float -> float
+
+(** [normal_cdf ~mu ~sigma x] is P(X <= x) for X ~ N(mu, sigma^2).
+    [sigma] must be positive. *)
+val normal_cdf : mu:float -> sigma:float -> float -> float
+
+(** [folded_normal_mean ~mu ~sigma] is E|X| for X ~ N(mu, sigma^2);
+    when [sigma = 0.] it degenerates to [abs_float mu]. *)
+val folded_normal_mean : mu:float -> sigma:float -> float
+
+(** [poisson_pmf ~lambda k] is e^-lambda lambda^k / k!, computed in
+    log space for robustness; [lambda >= 0.], [k >= 0]. *)
+val poisson_pmf : lambda:float -> int -> float
+
+(** [log_factorial k] — exact up to 20!, Stirling beyond. *)
+val log_factorial : int -> float

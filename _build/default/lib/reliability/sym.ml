@@ -1,0 +1,82 @@
+type sets = { on : Bdd.t; off : Bdd.t; dc : Bdd.t }
+
+let of_spec man spec ~o =
+  if Bdd.nvars man <> Pla.Spec.ni spec then
+    invalid_arg "Sym.of_spec: manager variable count mismatch";
+  {
+    on = Bdd.of_bv man (Pla.Spec.on_bv spec ~o);
+    off = Bdd.of_bv man (Pla.Spec.off_bv spec ~o);
+    dc = Bdd.of_bv man (Pla.Spec.dc_bv spec ~o);
+  }
+
+let of_covers man ~on ~dc =
+  let on_b = Bdd.of_cover man on in
+  let dc_raw = Bdd.of_cover man dc in
+  (* espresso fd semantics: the on-set wins overlaps *)
+  let dc_b = Bdd.band man dc_raw (Bdd.bnot man on_b) in
+  let off_b = Bdd.bnot man (Bdd.bor man on_b dc_b) in
+  { on = on_b; off = off_b; dc = dc_b }
+
+let validate man s =
+  let overlap a b = not (Bdd.is_zero man (Bdd.band man a b)) in
+  if overlap s.on s.off then Some "on and off sets overlap"
+  else if overlap s.on s.dc then Some "on and dc sets overlap"
+  else if overlap s.off s.dc then Some "off and dc sets overlap"
+  else if
+    not
+      (Bdd.is_one man (Bdd.bor man s.on (Bdd.bor man s.off s.dc)))
+  then Some "sets do not cover the space"
+  else None
+
+type stats = {
+  f1 : float;
+  f0 : float;
+  fdc : float;
+  b0 : float;
+  b1 : float;
+  bdc : float;
+  base_rate : float;
+  cf : float;
+}
+
+let stats man s =
+  let n = Bdd.nvars man in
+  let size = 2.0 ** float_of_int n in
+  let count = Bdd.satcount_float man in
+  let f1 = count s.on /. size in
+  let f0 = count s.off /. size in
+  let fdc = count s.dc /. size in
+  (* Per input j, neighbour-membership functions via flip_var. *)
+  let b0 = ref 0.0 and b1 = ref 0.0 and bdc = ref 0.0 in
+  let base = ref 0.0 and same = ref 0.0 in
+  for j = 0 to n - 1 do
+    let fon = Bdd.flip_var man s.on j in
+    let foff = Bdd.flip_var man s.off j in
+    let fdc_ = Bdd.flip_var man s.dc j in
+    let inter a b = count (Bdd.band man a b) in
+    b1 := !b1 +. inter s.on (Bdd.bnot man fon);
+    b0 := !b0 +. inter s.off (Bdd.bnot man foff);
+    bdc := !bdc +. inter s.dc (Bdd.bnot man fdc_);
+    base := !base +. inter s.on foff +. inter s.off fon;
+    same := !same +. inter s.on fon +. inter s.off foff +. inter s.dc fdc_
+  done;
+  let events = float_of_int n *. size in
+  {
+    f1;
+    f0;
+    fdc;
+    b0 = !b0;
+    b1 = !b1;
+    bdc = !bdc;
+    base_rate = !base /. events;
+    cf = !same /. events;
+  }
+
+let signal_interval man s =
+  let st = stats man s in
+  Estimate.signal_from ~n:(Bdd.nvars man) ~f1:st.f1 ~f0:st.f0 ~fdc:st.fdc
+
+let border_interval man s =
+  let st = stats man s in
+  Estimate.border_from ~n:(Bdd.nvars man) ~f1:st.f1 ~f0:st.f0 ~fdc:st.fdc
+    ~b0:st.b0 ~b1:st.b1 ~bdc:st.bdc

@@ -1,0 +1,46 @@
+(** Symbolic (BDD-based) reliability analysis.
+
+    The paper manipulated on-, off- and DC-sets with CUDD; this module
+    plays that role.  Everything Section 5 needs without minterm
+    enumeration is computed symbolically — signal probabilities,
+    border counts, the complexity factor, the exact base-error — so
+    the analytical min–max estimates scale to input counts far beyond
+    the dense representation's n <= 20 limit.  (The exact min/max
+    DC-assignment bounds intrinsically need per-minterm neighbour
+    minima and stay on the dense path.)
+
+    The three set arguments must partition the space:
+    [validate] checks this. *)
+
+type sets = { on : Bdd.t; off : Bdd.t; dc : Bdd.t }
+
+(** [of_spec man spec ~o] builds the three set BDDs of one output.
+    The manager must have [Spec.ni spec] variables. *)
+val of_spec : Bdd.man -> Pla.Spec.t -> o:int -> sets
+
+(** [of_covers man ~on ~dc] builds sets from covers (off = complement
+    of their union) — the scalable entry point. *)
+val of_covers : Bdd.man -> on:Twolevel.Cover.t -> dc:Twolevel.Cover.t -> sets
+
+(** [validate man sets] is [Some msg] when the sets overlap or leak. *)
+val validate : Bdd.man -> sets -> string option
+
+(** Aggregate statistics extracted symbolically. *)
+type stats = {
+  f1 : float;
+  f0 : float;
+  fdc : float;
+  b0 : float;  (** ordered off->elsewhere borders *)
+  b1 : float;
+  bdc : float;
+  base_rate : float;  (** exact base error rate *)
+  cf : float;  (** complexity factor *)
+}
+
+val stats : Bdd.man -> sets -> stats
+
+(** The Section 5 estimates, computed from {!stats} alone. *)
+
+val signal_interval : Bdd.man -> sets -> Estimate.interval
+
+val border_interval : Bdd.man -> sets -> Estimate.interval

@@ -1,0 +1,1 @@
+lib/synthetic/circuits.ml: Aig Array List

@@ -1,0 +1,1 @@
+lib/synthetic/suite.ml: Float Hashtbl List Random String Synth_gen

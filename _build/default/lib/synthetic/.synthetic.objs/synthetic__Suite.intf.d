@@ -1,0 +1,1 @@
+lib/synthetic/suite.mli: Pla

@@ -1,0 +1,1 @@
+lib/synthetic/synth_gen.ml: Array Bitvec Bytes Char Float List Pla Random Reliability

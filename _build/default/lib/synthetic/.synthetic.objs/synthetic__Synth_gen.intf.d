@@ -1,0 +1,1 @@
+lib/synthetic/synth_gen.mli: Pla Random

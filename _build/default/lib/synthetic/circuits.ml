@@ -1,0 +1,116 @@
+let check_bits bits = if bits < 1 then invalid_arg "Circuits: bits < 1"
+
+let full_adder t a b cin =
+  let sum = Aig.lxor_ t (Aig.lxor_ t a b) cin in
+  let carry =
+    Aig.lor_ t (Aig.land_ t a b)
+      (Aig.lor_ t (Aig.land_ t a cin) (Aig.land_ t b cin))
+  in
+  (sum, carry)
+
+let adder ~bits =
+  check_bits bits;
+  let t = Aig.create ~ni:(2 * bits) in
+  let a i = Aig.input t i and b i = Aig.input t (bits + i) in
+  let sums = ref [] and carry = ref Aig.const0 in
+  for i = 0 to bits - 1 do
+    let s, c = full_adder t (a i) (b i) !carry in
+    sums := s :: !sums;
+    carry := c
+  done;
+  Aig.set_outputs t (Array.of_list (List.rev !sums @ [ !carry ]));
+  t
+
+let multiplier ~bits =
+  check_bits bits;
+  let t = Aig.create ~ni:(2 * bits) in
+  let a i = Aig.input t i and b i = Aig.input t (bits + i) in
+  (* partial-product accumulation, schoolbook style: result has
+     2*bits columns of literals to sum with full adders *)
+  let columns = Array.make (2 * bits) [] in
+  for i = 0 to bits - 1 do
+    for j = 0 to bits - 1 do
+      columns.(i + j) <- Aig.land_ t (a i) (b j) :: columns.(i + j)
+    done
+  done;
+  let outs = Array.make (2 * bits) Aig.const0 in
+  for col = 0 to (2 * bits) - 1 do
+    (* compress the column with full/half adders, pushing carries *)
+    let rec compress = function
+      | [] -> Aig.const0
+      | [ x ] -> x
+      | [ x; y ] ->
+          let s = Aig.lxor_ t x y in
+          let c = Aig.land_ t x y in
+          if col + 1 < 2 * bits then
+            columns.(col + 1) <- c :: columns.(col + 1);
+          s
+      | x :: y :: z :: rest ->
+          let s, c = full_adder t x y z in
+          if col + 1 < 2 * bits then
+            columns.(col + 1) <- c :: columns.(col + 1);
+          compress (s :: rest)
+    in
+    outs.(col) <- compress columns.(col)
+  done;
+  Aig.set_outputs t outs;
+  t
+
+let comparator ~bits =
+  check_bits bits;
+  let t = Aig.create ~ni:(2 * bits) in
+  let a i = Aig.input t i and b i = Aig.input t (bits + i) in
+  (* scan from MSB: lt/gt latch at the first difference *)
+  let lt = ref Aig.const0 and gt = ref Aig.const0 and eq = ref Aig.const1 in
+  for i = bits - 1 downto 0 do
+    let ai = a i and bi = b i in
+    let ai_lt = Aig.land_ t (Aig.lnot ai) bi in
+    let ai_gt = Aig.land_ t ai (Aig.lnot bi) in
+    lt := Aig.lor_ t !lt (Aig.land_ t !eq ai_lt);
+    gt := Aig.lor_ t !gt (Aig.land_ t !eq ai_gt);
+    eq := Aig.land_ t !eq (Aig.lnot (Aig.lxor_ t ai bi))
+  done;
+  Aig.set_outputs t [| !lt; !eq; !gt |];
+  t
+
+let alu ~bits =
+  check_bits bits;
+  let t = Aig.create ~ni:((2 * bits) + 2) in
+  let a i = Aig.input t i and b i = Aig.input t (bits + i) in
+  let s0 = Aig.input t (2 * bits) and s1 = Aig.input t ((2 * bits) + 1) in
+  let carry = ref Aig.const0 in
+  let outs =
+    Array.init bits (fun i ->
+        let ai = a i and bi = b i in
+        let and_ = Aig.land_ t ai bi in
+        let or_ = Aig.lor_ t ai bi in
+        let xor_ = Aig.lxor_ t ai bi in
+        let sum, c = full_adder t ai bi !carry in
+        carry := c;
+        (* 00 AND, 01 OR, 10 XOR, 11 ADD *)
+        let low = Aig.lmux t ~sel:s0 ~th:or_ ~el:and_ in
+        let high = Aig.lmux t ~sel:s0 ~th:sum ~el:xor_ in
+        Aig.lmux t ~sel:s1 ~th:high ~el:low)
+  in
+  Aig.set_outputs t outs;
+  t
+
+let parity ~bits =
+  check_bits bits;
+  let t = Aig.create ~ni:bits in
+  let acc = ref Aig.const0 in
+  for i = 0 to bits - 1 do
+    acc := Aig.lxor_ t !acc (Aig.input t i)
+  done;
+  Aig.set_outputs t [| !acc |];
+  t
+
+let majority3 () =
+  let t = Aig.create ~ni:3 in
+  let a = Aig.input t 0 and b = Aig.input t 1 and c = Aig.input t 2 in
+  let m =
+    Aig.lor_ t (Aig.land_ t a b)
+      (Aig.lor_ t (Aig.land_ t a c) (Aig.land_ t b c))
+  in
+  Aig.set_outputs t [| m |];
+  t

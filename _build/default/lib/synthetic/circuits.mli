@@ -1,0 +1,30 @@
+(** Parameterised arithmetic circuit generators.
+
+    Realistic structured workloads (the kind the paper's Section 4
+    targets with nodal decomposition) built directly as AIGs:
+    ripple-carry adders, array multipliers, comparators and a small
+    mux-select ALU.  Input packing: operand A occupies inputs
+    [0..bits-1] (LSB first), operand B [bits..2*bits-1], extra control
+    inputs follow. *)
+
+(** [adder ~bits] — ripple-carry adder; [bits+1] outputs (sum, carry).
+    Inputs: 2*bits.  @raise Invalid_argument if [bits < 1]. *)
+val adder : bits:int -> Aig.t
+
+(** [multiplier ~bits] — array multiplier; [2*bits] outputs.
+    Inputs: 2*bits. *)
+val multiplier : bits:int -> Aig.t
+
+(** [comparator ~bits] — outputs [lt; eq; gt] for unsigned A vs B. *)
+val comparator : bits:int -> Aig.t
+
+(** [alu ~bits] — outputs A op B where op is selected by two control
+    inputs (indices 2*bits and 2*bits+1): 00 AND, 01 OR, 10 XOR,
+    11 ADD (sum bits only).  Inputs: 2*bits+2; outputs: bits. *)
+val alu : bits:int -> Aig.t
+
+(** [parity ~bits] — single-output parity of [bits] inputs. *)
+val parity : bits:int -> Aig.t
+
+(** [majority3] — the 3-input majority voter. *)
+val majority3 : unit -> Aig.t

@@ -1,0 +1,70 @@
+type entry = {
+  name : string;
+  ni : int;
+  no : int;
+  dc_percent : float;
+  ecf : float;
+  cf : float;
+}
+
+let e name ni no dc_percent ecf cf = { name; ni; no; dc_percent; ecf; cf }
+
+let entries =
+  [
+    e "bench" 6 8 68.9 0.533 0.540;
+    e "fout" 6 10 41.4 0.351 0.338;
+    e "p3" 8 14 79.6 0.671 0.805;
+    e "p1" 8 18 77.7 0.641 0.788;
+    e "exp" 8 18 77.2 0.644 0.788;
+    e "test4" 8 30 71.5 0.560 0.557;
+    e "ex1010" 10 10 70.3 0.540 0.539;
+    e "exam" 10 10 86.8 0.768 0.802;
+    e "t4" 12 8 43.9 0.477 0.867;
+    e "random1" 12 12 68.6 0.52 0.49;
+    e "random2" 12 12 68.6 0.52 0.667;
+    e "random3" 12 12 68.6 0.52 0.826;
+  ]
+
+let find name = List.find (fun en -> en.name = name) entries
+
+(* Invert E[C^f] = f0^2 + f1^2 + fdc^2 for the care-phase split:
+   given fdc and E, f0 and f1 are the roots of
+   x^2 - (1 - fdc) x + ((1-fdc)^2 - (E - fdc^2))/2.
+   Falls back to a balanced split when the quadratic has no real
+   solution (E below the balanced minimum). *)
+let care_split ~fdc ~ecf =
+  let s = 1.0 -. fdc in
+  let p = ((s *. s) -. (ecf -. (fdc *. fdc))) /. 2.0 in
+  let disc = (s *. s) -. (4.0 *. p) in
+  if disc < 0.0 then (s /. 2.0, s /. 2.0)
+  else
+    let r = sqrt disc in
+    (((s +. r) /. 2.0), ((s -. r) /. 2.0))
+
+let seed_of_name name =
+  let h = Hashtbl.hash name in
+  [| h; h lxor 0x9e3779b9; String.length name |]
+
+let load entry =
+  let rng = Random.State.make (seed_of_name entry.name) in
+  let size = 1 lsl entry.ni in
+  let fdc = entry.dc_percent /. 100.0 in
+  let f_major, f_minor = care_split ~fdc ~ecf:entry.ecf in
+  (* The published benchmarks are mostly off-heavy; put the major
+     fraction on the off-set. *)
+  let on_count = int_of_float (Float.round (f_minor *. float_of_int size)) in
+  let off_count = int_of_float (Float.round (f_major *. float_of_int size)) in
+  let params =
+    {
+      (Synth_gen.default_params ~ni:entry.ni ~dc_frac:fdc
+         ~target_cf:(Some entry.cf))
+      with
+      Synth_gen.on_count;
+      off_count;
+    }
+  in
+  Synth_gen.spec ~rng ~no:entry.no params
+
+let load_by_name name = load (find name)
+
+let load_all () = List.map (fun en -> (en, load en)) entries

@@ -1,0 +1,34 @@
+(** The benchmark suite of the paper's Table 1.
+
+    The nine MCNC benchmarks with explicit DC sets are not
+    redistributable here, so each is replaced by a seeded synthetic
+    stand-in matching the published (inputs, outputs, %DC, C^f) row —
+    the statistics the paper's algorithms actually depend on (see
+    DESIGN.md).  [random1]..[random3] were synthetic in the paper too
+    and are generated exactly as described there.  Generation is
+    deterministic per name. *)
+
+type entry = {
+  name : string;
+  ni : int;
+  no : int;
+  dc_percent : float;  (** Table 1 "%DC" *)
+  ecf : float;  (** Table 1 "E[C^f]" — fixes the on/off skew *)
+  cf : float;  (** Table 1 "C^f" *)
+}
+
+(** [entries] — the twelve Table 1 rows. *)
+val entries : entry list
+
+(** [find name] looks an entry up. @raise Not_found. *)
+val find : string -> entry
+
+(** [load entry] generates the deterministic stand-in spec. *)
+val load : entry -> Pla.Spec.t
+
+(** [load_by_name name] is [load (find name)]. *)
+val load_by_name : string -> Pla.Spec.t
+
+(** [load_all ()] is [(entry, spec)] for the whole suite, in Table 1
+    order.  Generation cost is a few seconds for the 12-input rows. *)
+val load_all : unit -> (entry * Pla.Spec.t) list

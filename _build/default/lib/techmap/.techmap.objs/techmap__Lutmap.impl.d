@@ -1,0 +1,1 @@
+lib/techmap/lutmap.ml: Aig Array List Logic Netlist Printf String

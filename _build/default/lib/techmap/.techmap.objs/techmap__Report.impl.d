@@ -1,0 +1,1 @@
+lib/techmap/report.ml: Format Netlist

@@ -1,0 +1,1 @@
+lib/techmap/report.mli: Format Netlist

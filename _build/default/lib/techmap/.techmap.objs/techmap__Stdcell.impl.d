@@ -1,0 +1,1 @@
+lib/techmap/stdcell.ml: List Logic Netlist Printf

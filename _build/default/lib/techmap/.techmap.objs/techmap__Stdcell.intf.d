@@ -1,0 +1,1 @@
+lib/techmap/stdcell.mli: Logic Netlist

@@ -1,0 +1,103 @@
+module Truth = Logic.Truth
+
+let lut_cell ~k tt =
+  Netlist.Gate.Cell
+    {
+      Netlist.Gate.cell_name = Printf.sprintf "LUT%d" k;
+      tt;
+      arity = k;
+      area = 1.0;
+      delay = 1.0;
+      input_cap = 1.0;
+    }
+
+let inv_cell =
+  Netlist.Gate.Cell
+    {
+      Netlist.Gate.cell_name = "LUT1";
+      tt = Truth.tnot 1 (Truth.var 1 0);
+      arity = 1;
+      area = 1.0;
+      delay = 1.0;
+      input_cap = 1.0;
+    }
+
+let map ~k aig =
+  if k < 2 || k > 4 then invalid_arg "Lutmap.map: k must be in [2,4]";
+  let cuts = Aig.Cut.enumerate aig ~k ~max_cuts:8 in
+  let n = Aig.num_nodes aig in
+  (* fanout estimate for area flow *)
+  let fanout = Array.make n 1.0 in
+  let bump id = fanout.(id) <- fanout.(id) +. 1.0 in
+  Aig.iter_ands aig (fun _ a b ->
+      bump (Aig.node_of a);
+      bump (Aig.node_of b));
+  let flow = Array.make n 0.0 in
+  let choice = Array.make n None in
+  Aig.iter_ands aig (fun id _ _ ->
+      let best = ref None in
+      List.iter
+        (fun cut ->
+          let size = Array.length cut.Aig.Cut.leaves in
+          if size >= 2 && size <= k then begin
+            let cost =
+              Array.fold_left
+                (fun acc leaf -> acc +. (flow.(leaf) /. fanout.(leaf)))
+                1.0 cut.Aig.Cut.leaves
+            in
+            match !best with
+            | Some (bc, _) when bc <= cost -> ()
+            | _ -> best := Some (cost, cut)
+          end)
+        cuts.(id);
+      match !best with
+      | Some (cost, cut) ->
+          flow.(id) <- cost;
+          choice.(id) <- Some cut
+      | None -> failwith "Lutmap: AND node without a usable cut");
+  (* emission *)
+  let nl = Netlist.create ~ni:(Aig.ni aig) in
+  let pos = Array.make n (-1) in
+  let neg = Array.make n (-1) in
+  for i = 0 to Aig.ni aig - 1 do
+    pos.(i + 1) <- i
+  done;
+  let rec emit id =
+    if pos.(id) >= 0 then pos.(id)
+    else
+      match choice.(id) with
+      | None -> invalid_arg "Lutmap: unreachable node requested"
+      | Some cut ->
+          let leaf_nets = Array.map emit cut.Aig.Cut.leaves in
+          let size = Array.length leaf_nets in
+          let net = Netlist.add nl (lut_cell ~k:size cut.Aig.Cut.tt) leaf_nets in
+          pos.(id) <- net;
+          net
+  in
+  let emit_lit l =
+    let id = Aig.node_of l in
+    if id = 0 then
+      Netlist.add nl (Netlist.Gate.Const (Aig.is_complemented l)) [||]
+    else begin
+      let p = emit id in
+      if Aig.is_complemented l then begin
+        if neg.(id) < 0 then neg.(id) <- Netlist.add nl inv_cell [| p |];
+        neg.(id)
+      end
+      else p
+    end
+  in
+  Netlist.set_outputs nl (Array.map emit_lit (Aig.outputs aig));
+  nl
+
+let lut_count nl =
+  let acc = ref 0 in
+  Netlist.iter_nodes nl (fun _ g _ ->
+      match g with
+      | Netlist.Gate.Cell c
+        when String.length c.Netlist.Gate.cell_name >= 4
+             && String.sub c.Netlist.Gate.cell_name 0 3 = "LUT"
+             && c.Netlist.Gate.arity >= 2 ->
+          incr acc
+      | _ -> ());
+  !acc

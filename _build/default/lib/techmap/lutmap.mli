@@ -1,0 +1,19 @@
+(** K-LUT covering of AIGs — the "renode" role of Section 4.
+
+    The paper scales nodal decomposition to large circuits by
+    re-noding them into coarser nodes (ABC's [renode]) whose local DC
+    sets are then analysed.  This mapper covers the AIG with k-input
+    nodes (realised as generic [Cell] instances carrying their truth
+    table), producing exactly that coarser network: bigger local
+    functions, bigger satisfiability-DC spaces for
+    {!Rdca_core.Decompose} to exploit. *)
+
+(** [map ~k aig] covers the AIG with k-feasible cuts minimising LUT
+    count (area-flow heuristic); every LUT is a [Cell] named
+    ["LUT<k>"] with unit area/delay/cap.
+    @raise Invalid_argument unless [2 <= k <= 4]. *)
+val map : k:int -> Aig.t -> Netlist.t
+
+(** [lut_count nl] counts LUT instances (excludes inverters emitted
+    for complemented outputs). *)
+val lut_count : Netlist.t -> int

@@ -1,0 +1,31 @@
+type t = {
+  area : float;
+  delay : float;
+  power : float;
+  gates : int;
+  depth : int;
+}
+
+let of_netlist nl =
+  {
+    area = Netlist.area nl;
+    delay = Netlist.delay nl;
+    power = Netlist.dynamic_power nl;
+    gates = Netlist.gate_count nl;
+    depth = Netlist.depth nl;
+  }
+
+let ratio base v = if base = 0.0 then v else v /. base
+
+let normalise ~base r =
+  {
+    area = ratio base.area r.area;
+    delay = ratio base.delay r.delay;
+    power = ratio base.power r.power;
+    gates = r.gates;
+    depth = r.depth;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "area=%.2f delay=%.3f power=%.2f gates=%d depth=%d"
+    r.area r.delay r.power r.gates r.depth

@@ -1,0 +1,19 @@
+(** Area / delay / power reporting for mapped netlists. *)
+
+type t = {
+  area : float;  (** sum of instance areas *)
+  delay : float;  (** critical path, ns *)
+  power : float;  (** dynamic switching-power proxy *)
+  gates : int;  (** instance count *)
+  depth : int;  (** logic levels *)
+}
+
+(** [of_netlist nl] computes the full report (power needs exhaustive
+    simulation: [Netlist.ni nl <= 20]). *)
+val of_netlist : Netlist.t -> t
+
+(** [normalise ~base r] divides each metric by the corresponding
+    metric of [base] (metrics equal to 0 in [base] stay absolute). *)
+val normalise : base:t -> t -> t
+
+val pp : Format.formatter -> t -> unit

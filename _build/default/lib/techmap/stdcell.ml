@@ -1,0 +1,96 @@
+module Truth = Logic.Truth
+
+type t = {
+  name : string;
+  arity : int;
+  tt : Logic.Truth.t;
+  area : float;
+  delay : float;
+  input_cap : float;
+}
+
+let v k i = Truth.var k i
+let tnot = Truth.tnot
+let ( &: ) = Truth.tand
+let ( |: ) = Truth.tor
+let ( ^: ) = Truth.txor
+
+let cell name arity tt area delay input_cap =
+  { name; arity; tt; area; delay; input_cap }
+
+let default_library () =
+  let a1 = v 1 0 in
+  let a2 = v 2 0 and b2 = v 2 1 in
+  let a3 = v 3 0 and b3 = v 3 1 and c3 = v 3 2 in
+  let a4 = v 4 0 and b4 = v 4 1 and c4 = v 4 2 and d4 = v 4 3 in
+  [
+    cell "INV" 1 (tnot 1 a1) 1.0 0.020 1.0;
+    cell "BUF" 1 a1 1.3 0.035 1.0;
+    cell "NAND2" 2 (tnot 2 (a2 &: b2)) 1.3 0.030 1.0;
+    cell "NOR2" 2 (tnot 2 (a2 |: b2)) 1.3 0.035 1.1;
+    cell "AND2" 2 (a2 &: b2) 1.7 0.045 1.0;
+    cell "OR2" 2 (a2 |: b2) 1.7 0.050 1.0;
+    cell "NAND3" 3 (tnot 3 (a3 &: b3 &: c3)) 1.7 0.040 1.1;
+    cell "NOR3" 3 (tnot 3 (a3 |: b3 |: c3)) 1.7 0.050 1.2;
+    cell "AND3" 3 (a3 &: b3 &: c3) 2.0 0.055 1.0;
+    cell "OR3" 3 (a3 |: b3 |: c3) 2.0 0.060 1.0;
+    cell "NAND4" 4 (tnot 4 (a4 &: b4 &: c4 &: d4)) 2.0 0.050 1.2;
+    cell "NOR4" 4 (tnot 4 (a4 |: b4 |: c4 |: d4)) 2.0 0.065 1.3;
+    cell "AND4" 4 (a4 &: b4 &: c4 &: d4) 2.3 0.065 1.0;
+    cell "OR4" 4 (a4 |: b4 |: c4 |: d4) 2.3 0.070 1.0;
+    cell "XOR2" 2 (a2 ^: b2) 3.0 0.060 1.4;
+    cell "XNOR2" 2 (tnot 2 (a2 ^: b2)) 3.0 0.060 1.4;
+    cell "AOI21" 3 (tnot 3 ((a3 &: b3) |: c3)) 1.7 0.040 1.1;
+    cell "OAI21" 3 (tnot 3 ((a3 |: b3) &: c3)) 1.7 0.040 1.1;
+    cell "AOI22" 4 (tnot 4 ((a4 &: b4) |: (c4 &: d4))) 2.0 0.050 1.2;
+    cell "OAI22" 4 (tnot 4 ((a4 |: b4) &: (c4 |: d4))) 2.0 0.050 1.2;
+    cell "AOI211" 4 (tnot 4 ((a4 &: b4) |: c4 |: d4)) 2.3 0.055 1.2;
+    cell "OAI211" 4 (tnot 4 ((a4 |: b4) &: c4 &: d4)) 2.3 0.055 1.2;
+    cell "MUX2" 3 ((a3 &: b3) |: (tnot 3 a3 &: c3)) 3.3 0.060 1.3;
+  ]
+
+let find lib name = List.find (fun c -> c.name = name) lib
+
+let to_gate c =
+  Netlist.Gate.Cell
+    {
+      Netlist.Gate.cell_name = c.name;
+      tt = c.tt;
+      arity = c.arity;
+      area = c.area;
+      delay = c.delay;
+      input_cap = c.input_cap;
+    }
+
+let inv lib = find lib "INV"
+let buf lib = find lib "BUF"
+
+let validate lib =
+  let problem = ref None in
+  let report msg = if !problem = None then problem := Some msg in
+  List.iter
+    (fun c ->
+      if c.arity < 1 || c.arity > 4 then
+        report (Printf.sprintf "cell %s: arity %d out of [1,4]" c.name c.arity);
+      if c.tt land lnot (Truth.mask c.arity) <> 0 then
+        report (Printf.sprintf "cell %s: truth table out of range" c.name);
+      if c.area <= 0.0 || c.delay <= 0.0 || c.input_cap <= 0.0 then
+        report (Printf.sprintf "cell %s: non-positive physical datum" c.name))
+    lib;
+  (match List.find_opt (fun c -> c.name = "INV") lib with
+  | Some c when c.tt = tnot 1 (v 1 0) -> ()
+  | Some _ -> report "INV has a wrong truth table"
+  | None -> report "library lacks INV");
+  (match List.find_opt (fun c -> c.name = "BUF") lib with
+  | Some c when c.tt = v 1 0 -> ()
+  | Some _ -> report "BUF has a wrong truth table"
+  | None -> report "library lacks BUF");
+  let and2 = v 2 0 &: v 2 1 in
+  let has_and2_class =
+    List.exists
+      (fun c -> c.arity = 2 && (c.tt = and2 || c.tt = tnot 2 and2))
+      lib
+  in
+  if not has_and2_class then
+    report "library lacks an AND2/NAND2 cell for the structural fallback";
+  !problem

@@ -1,0 +1,43 @@
+(** The standard-cell library.
+
+    A synthetic 70 nm-class library standing in for the commercial
+    library the paper mapped to with Synopsys Design Compiler.  Areas
+    are in equivalent-NAND2 units scaled to square microns, delays in
+    nanoseconds, input capacitances in femtofarads; the *relative*
+    values (which drive all of the paper's normalised comparisons)
+    follow standard cell-library proportions: inverting gates are
+    smaller and faster than their non-inverting forms, XOR-class cells
+    are the largest, and area/delay grow with fan-in. *)
+
+type t = {
+  name : string;
+  arity : int;
+  tt : Logic.Truth.t;  (** function over pins 0..arity-1 *)
+  area : float;
+  delay : float;
+  input_cap : float;
+}
+
+(** [default_library ()] is the library described above (1- to 4-input
+    cells: INV/BUF, (N)AND/(N)OR 2-4, XOR2/XNOR2, AOI/OAI 21/22/211,
+    MUX2). *)
+val default_library : unit -> t list
+
+(** [find lib name] looks a cell up by name. @raise Not_found. *)
+val find : t list -> string -> t
+
+(** [to_gate cell] is the {!Netlist.Gate.t} instance payload. *)
+val to_gate : t -> Netlist.Gate.t
+
+(** [inv lib] and [buf lib] are the inverter and buffer cells (every
+    usable library must provide both; checked by [validate]). *)
+val inv : t list -> t
+
+val buf : t list -> t
+
+(** [validate lib] checks structural sanity: arities in [1,4], truth
+    tables within range, INV and BUF present, AND2-class coverage for
+    the mapper's structural fallback (some cell NP-matching a 2-input
+    AND up to output polarity).  Returns an error description, or
+    [None] when the library is usable. *)
+val validate : t list -> string option

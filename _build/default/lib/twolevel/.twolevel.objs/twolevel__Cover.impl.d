@@ -1,0 +1,1 @@
+lib/twolevel/cover.ml: Array Bitvec Cube Format List Option

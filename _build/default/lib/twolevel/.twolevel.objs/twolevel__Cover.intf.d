@@ -1,0 +1,1 @@
+lib/twolevel/cover.mli: Bitvec Cube Format

@@ -1,0 +1,1 @@
+lib/twolevel/factor.ml: Array Cover Cube Format Hashtbl List Option String

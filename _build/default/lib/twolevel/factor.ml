@@ -1,0 +1,229 @@
+type expr =
+  | Const of bool
+  | Lit of int * bool
+  | And of expr list
+  | Or of expr list
+
+(* ------------------------------------------------------------------ *)
+(* Expression basics                                                    *)
+
+let cube_to_expr ~n c =
+  let lits = ref [] in
+  for j = n - 1 downto 0 do
+    match Cube.get c j with
+    | Cube.Zero -> lits := Lit (j, true) :: !lits
+    | Cube.One -> lits := Lit (j, false) :: !lits
+    | Cube.Free -> ()
+  done;
+  match !lits with [] -> Const true | [ l ] -> l | ls -> And ls
+
+let of_cover cover =
+  let n = Cover.n cover in
+  match Cover.cubes cover with
+  | [] -> Const false
+  | [ c ] -> cube_to_expr ~n c
+  | cs -> Or (List.map (cube_to_expr ~n) cs)
+
+let rec eval expr m =
+  match expr with
+  | Const b -> b
+  | Lit (j, neg) ->
+      let v = m land (1 lsl j) <> 0 in
+      if neg then not v else v
+  | And es -> List.for_all (fun e -> eval e m) es
+  | Or es -> List.exists (fun e -> eval e m) es
+
+let rec literal_count = function
+  | Const _ -> 0
+  | Lit _ -> 1
+  | And es | Or es -> List.fold_left (fun acc e -> acc + literal_count e) 0 es
+
+let rec pp ~n ppf = function
+  | Const b -> Format.pp_print_string ppf (if b then "1" else "0")
+  | Lit (j, neg) ->
+      Format.fprintf ppf "%sx%d" (if neg then "!" else "") j
+  | And es ->
+      Format.pp_print_string ppf "(";
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+        (pp ~n) ppf es;
+      Format.pp_print_string ppf ")"
+  | Or es ->
+      Format.pp_print_string ppf "(";
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+        (pp ~n) ppf es;
+      Format.pp_print_string ppf ")"
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic division                                                   *)
+
+(* c is divisible by d when every specific literal of d appears in c. *)
+let cube_divisible c d =
+  let spec0_d = Cube.mask0 d land lnot (Cube.mask1 d) in
+  let spec1_d = Cube.mask1 d land lnot (Cube.mask0 d) in
+  let spec0_c = Cube.mask0 c land lnot (Cube.mask1 c) in
+  let spec1_c = Cube.mask1 c land lnot (Cube.mask0 c) in
+  spec0_d land lnot spec0_c = 0 && spec1_d land lnot spec1_c = 0
+
+(* c / d frees the literals d provides. *)
+let cube_quotient c d =
+  let spec_d =
+    (Cube.mask0 d land lnot (Cube.mask1 d))
+    lor (Cube.mask1 d land lnot (Cube.mask0 d))
+  in
+  Cube.of_masks ~m0:(Cube.mask0 c lor spec_d) ~m1:(Cube.mask1 c lor spec_d)
+
+let divide ~by cover =
+  let n = Cover.n cover in
+  let q, r =
+    List.partition_map
+      (fun c ->
+        if cube_divisible c by then Left (cube_quotient c by) else Right c)
+      (Cover.cubes cover)
+  in
+  (Cover.make ~n q, Cover.make ~n r)
+
+(* ------------------------------------------------------------------ *)
+(* Literal statistics                                                   *)
+
+(* literal id = 2*var + (1 if complemented) *)
+let literal_counts cover =
+  let n = Cover.n cover in
+  let counts = Array.make (2 * n) 0 in
+  List.iter
+    (fun c ->
+      for j = 0 to n - 1 do
+        match Cube.get c j with
+        | Cube.One -> counts.(2 * j) <- counts.(2 * j) + 1
+        | Cube.Zero -> counts.((2 * j) + 1) <- counts.((2 * j) + 1) + 1
+        | Cube.Free -> ()
+      done)
+    (Cover.cubes cover);
+  counts
+
+let best_literal cover =
+  let counts = literal_counts cover in
+  let best = ref None in
+  Array.iteri
+    (fun id c ->
+      if c >= 2 then
+        match !best with
+        | Some (_, cb) when cb >= c -> ()
+        | _ -> best := Some ((id / 2, id land 1 = 1), c))
+    counts;
+  Option.map fst !best
+
+let literal_cube ~n (var, neg) =
+  Cube.set (Cube.full ~n) var (if neg then Cube.Zero else Cube.One)
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                              *)
+
+(* Largest cube dividing every cube of a cover: supercube of cubes. *)
+let common_cube cover =
+  match Cover.cubes cover with
+  | [] -> None
+  | c :: rest -> Some (List.fold_left Cube.supercube c rest)
+
+let is_cube_free cover =
+  match common_cube cover with
+  | None -> false
+  | Some c -> Cube.free_count ~n:(Cover.n cover) c = Cover.n cover
+
+let kernels cover =
+  let n = Cover.n cover in
+  let results = ref [] in
+  let seen = Hashtbl.create 64 in
+  let add cok kern =
+    let key =
+      List.sort Cube.compare (Cover.cubes kern)
+      |> List.map (Cube.to_string ~n)
+      |> String.concat "|"
+    in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      results := (cok, kern) :: !results
+    end
+  in
+  (* recurse over literal ids in increasing order *)
+  let rec go j g cok =
+    for id = j to (2 * n) - 1 do
+      let var = id / 2 and neg = id land 1 = 1 in
+      let lit = literal_cube ~n (var, neg) in
+      let q, _ = divide ~by:lit g in
+      if Cover.size q >= 2 then begin
+        match common_cube q with
+        | None -> ()
+        | Some c ->
+            (* skip if c contains a literal with smaller id: that
+               branch was (or will be) explored from there *)
+            let has_smaller =
+              let rec chk id' =
+                if id' >= id then false
+                else
+                  let v = id' / 2 and ng = id' land 1 = 1 in
+                  let l = if ng then Cube.Zero else Cube.One in
+                  if Cube.get c v = l then true else chk (id' + 1)
+              in
+              chk 0
+            in
+            if not has_smaller then begin
+              let q', _ = divide ~by:c q in
+              (* co-kernel accumulates the dividing literal and the
+                 common cube; the intersections never clash because
+                 each grows along one division path *)
+              match Cube.intersect cok lit with
+              | None -> ()
+              | Some step -> (
+                  match Cube.intersect step c with
+                  | None -> ()
+                  | Some new_cok ->
+                      add new_cok q';
+                      go (id + 1) q' new_cok)
+            end
+      end
+    done
+  in
+  go 0 cover (Cube.full ~n);
+  (* the cover itself is a kernel when cube-free *)
+  if Cover.size cover >= 2 && is_cube_free cover then
+    add (Cube.full ~n) cover;
+  !results
+
+(* ------------------------------------------------------------------ *)
+(* QUICK_FACTOR via best-literal division                               *)
+
+let and2 a b =
+  match (a, b) with
+  | Const true, x | x, Const true -> x
+  | Const false, _ | _, Const false -> Const false
+  | And xs, And ys -> And (xs @ ys)
+  | And xs, y -> And (xs @ [ y ])
+  | x, And ys -> And (x :: ys)
+  | x, y -> And [ x; y ]
+
+let or2 a b =
+  match (a, b) with
+  | Const false, x | x, Const false -> x
+  | Const true, _ | _, Const true -> Const true
+  | Or xs, Or ys -> Or (xs @ ys)
+  | Or xs, y -> Or (xs @ [ y ])
+  | x, Or ys -> Or (x :: ys)
+  | x, y -> Or [ x; y ]
+
+let rec factor cover =
+  let n = Cover.n cover in
+  match Cover.cubes cover with
+  | [] -> Const false
+  | [ c ] -> cube_to_expr ~n c
+  | _ -> (
+      match best_literal cover with
+      | None -> of_cover cover (* no sharing available *)
+      | Some (var, neg) ->
+          let lit = literal_cube ~n (var, neg) in
+          let q, r = divide ~by:lit cover in
+          if Cover.size q = 0 then of_cover cover
+          else
+            let lit_expr = Lit (var, neg) in
+            or2 (and2 lit_expr (factor q)) (factor r))

@@ -1,0 +1,52 @@
+(** Algebraic factoring of two-level covers (SIS-style).
+
+    Flat sums of products make poor multi-level netlists; commercial
+    flows factor them first.  This module implements the classical
+    algebraic machinery: literal counting, algebraic division,
+    co-kernel/kernel extraction and QUICK_FACTOR, producing an
+    expression tree the AIG builder can lower with far fewer gates
+    than the flat form.
+
+    All operations treat covers as {e algebraic} expressions: cubes
+    are assumed non-redundant and products are manipulated purely
+    syntactically (no Boolean identities beyond x * x = x). *)
+
+(** Factored logic expression. *)
+type expr =
+  | Const of bool
+  | Lit of int * bool  (** variable index, complemented? *)
+  | And of expr list
+  | Or of expr list
+
+(** [of_cover cover] is the trivial (flat SOP) expression. *)
+val of_cover : Cover.t -> expr
+
+(** [factor cover] is QUICK_FACTOR: recursively divide by the best
+    literal-level divisor.  The result is algebraically equivalent to
+    the cover. *)
+val factor : Cover.t -> expr
+
+(** [eval expr m] evaluates on a minterm encoding. *)
+val eval : expr -> int -> bool
+
+(** [literal_count expr] counts literal leaves — the classical quality
+    measure for factored forms. *)
+val literal_count : expr -> int
+
+(** [divide ~by cover] is algebraic division [cover / by]:
+    [(quotient, remainder)] with
+    [cover = by * quotient + remainder] algebraically.  [by] must be
+    a cube (single product). *)
+val divide : by:Cube.t -> Cover.t -> Cover.t * Cover.t
+
+(** [kernels cover] is the set of (co-kernel, kernel) pairs of the
+    cover (kernels = cube-free primary divisors).  Exponential in the
+    worst case; fine at SOP sizes after minimisation. *)
+val kernels : Cover.t -> (Cube.t * Cover.t) list
+
+(** [best_literal cover] is the literal occurring in the most cubes
+    (at least twice), as [(variable, complemented)], if any. *)
+val best_literal : Cover.t -> (int * bool) option
+
+(** [pp ~n] prints an expression with x0..x{n-1} names. *)
+val pp : n:int -> Format.formatter -> expr -> unit

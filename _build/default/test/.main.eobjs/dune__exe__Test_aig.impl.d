@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Format List Logic Netlist Printf QCheck QCheck_alcotest Twolevel

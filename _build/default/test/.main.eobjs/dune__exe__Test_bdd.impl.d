@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd Bitvec Espresso Format List Printf QCheck QCheck_alcotest Twolevel

@@ -1,0 +1,1 @@
+test/test_bv.ml: Alcotest Bitvec List Printf QCheck QCheck_alcotest

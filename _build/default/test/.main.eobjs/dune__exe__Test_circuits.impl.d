@@ -1,0 +1,1 @@
+test/test_circuits.ml: Aig Alcotest Array Bitvec List Netlist Printf Rdca_core Synthetic Techmap

@@ -1,0 +1,1 @@
+test/test_core.ml: Aig Alcotest Array Bitvec Format List Netlist Pla Printf QCheck QCheck_alcotest Random Rdca_core Reliability Synthetic Techmap Twolevel

@@ -1,0 +1,1 @@
+test/test_cover.ml: Alcotest Bitvec Format List Printf QCheck QCheck_alcotest Twolevel

@@ -1,0 +1,1 @@
+test/test_cube.ml: Alcotest Array Bitvec List Printf QCheck QCheck_alcotest Twolevel

@@ -1,0 +1,1 @@
+test/test_espresso.ml: Alcotest Array Bitvec Espresso List Printf QCheck QCheck_alcotest Random String Twolevel

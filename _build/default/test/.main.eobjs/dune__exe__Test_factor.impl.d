@@ -1,0 +1,1 @@
+test/test_factor.ml: Aig Alcotest Format List Printf QCheck QCheck_alcotest Twolevel

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Espresso List Pla Printf Random Rdca_flow Reliability Synthetic Techmap Twolevel

@@ -1,0 +1,1 @@
+test/test_io.ml: Aig Alcotest List Netlist Netlist_io Printf QCheck QCheck_alcotest String Techmap Twolevel

@@ -1,0 +1,1 @@
+test/test_minterm.ml: Alcotest Bitvec QCheck QCheck_alcotest

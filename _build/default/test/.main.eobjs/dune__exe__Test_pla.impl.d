@@ -1,0 +1,1 @@
+test/test_pla.ml: Alcotest Espresso Filename Format List Pla QCheck QCheck_alcotest String Sys Twolevel

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Bdd Bitvec List Netlist Pla QCheck QCheck_alcotest Random Reliability String Twolevel

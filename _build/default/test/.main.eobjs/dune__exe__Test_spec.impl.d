@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Bitvec Format List Pla QCheck QCheck_alcotest Twolevel

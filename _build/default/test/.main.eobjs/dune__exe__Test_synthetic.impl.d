@@ -1,0 +1,1 @@
+test/test_synthetic.ml: Alcotest List Pla Printf Random Reliability Synthetic

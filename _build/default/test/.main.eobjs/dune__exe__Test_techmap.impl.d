@@ -1,0 +1,1 @@
+test/test_techmap.ml: Aig Alcotest Array Format List Logic Netlist Pla Printf QCheck QCheck_alcotest Rdca_core Rdca_flow Synthetic Techmap Twolevel

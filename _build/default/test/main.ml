@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "rdca"
+    [
+      Test_bv.suite;
+      Test_minterm.suite;
+      Test_cube.suite;
+      Test_cover.suite;
+      Test_factor.suite;
+      Test_espresso.suite;
+      Test_spec.suite;
+      Test_pla.suite;
+      Test_bdd.suite;
+      Test_logic.suite;
+      Test_netlist.suite;
+      Test_aig.suite;
+      Test_techmap.suite;
+      Test_reliability.suite;
+      Test_synthetic.suite;
+      Test_circuits.suite;
+      Test_core.suite;
+      Test_flow.suite;
+      Test_io.suite;
+    ]

@@ -1,0 +1,428 @@
+(* Tests for the ROBDD package: structural invariants, semantics
+   against dense enumeration, conversions. *)
+
+module Cover = Twolevel.Cover
+module Cube = Twolevel.Cube
+module Bv = Bitvec.Bv
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_terminals () =
+  let m = Bdd.make_man ~nvars:3 in
+  check "zero" true (Bdd.is_zero m (Bdd.zero m));
+  check "one" true (Bdd.is_one m (Bdd.one m));
+  check "distinct" false (Bdd.equal (Bdd.zero m) (Bdd.one m))
+
+let test_var_semantics () =
+  let m = Bdd.make_man ~nvars:3 in
+  let x1 = Bdd.var m 1 in
+  check "x1 on m=2" true (Bdd.eval_minterm m x1 0b010);
+  check "x1 off m=5" false (Bdd.eval_minterm m x1 0b101);
+  let nx1 = Bdd.nvar m 1 in
+  check "nx1 = not x1" true (Bdd.equal nx1 (Bdd.bnot m x1))
+
+let test_hash_consing () =
+  let m = Bdd.make_man ~nvars:4 in
+  let a = Bdd.band m (Bdd.var m 0) (Bdd.var m 1) in
+  let b = Bdd.band m (Bdd.var m 1) (Bdd.var m 0) in
+  check "AND commutes to same node" true (Bdd.equal a b);
+  let c = Bdd.bor m (Bdd.bnot m (Bdd.var m 0)) (Bdd.bnot m (Bdd.var m 1)) in
+  check "De Morgan to same node" true (Bdd.equal (Bdd.bnot m a) c)
+
+let test_connectives () =
+  let m = Bdd.make_man ~nvars:2 in
+  let x0 = Bdd.var m 0 and x1 = Bdd.var m 1 in
+  let test_table name f expected =
+    List.iteri
+      (fun mt e ->
+        check
+          (Printf.sprintf "%s m=%d" name mt)
+          e (Bdd.eval_minterm m f mt))
+      expected
+  in
+  test_table "and" (Bdd.band m x0 x1) [ false; false; false; true ];
+  test_table "or" (Bdd.bor m x0 x1) [ false; true; true; true ];
+  test_table "xor" (Bdd.bxor m x0 x1) [ false; true; true; false ];
+  test_table "not x0" (Bdd.bnot m x0) [ true; false; true; false ]
+
+let test_ite () =
+  let m = Bdd.make_man ~nvars:3 in
+  let f = Bdd.ite m (Bdd.var m 0) (Bdd.var m 1) (Bdd.var m 2) in
+  for mt = 0 to 7 do
+    let x0 = mt land 1 <> 0 and x1 = mt land 2 <> 0 and x2 = mt land 4 <> 0 in
+    check
+      (Printf.sprintf "ite m=%d" mt)
+      (if x0 then x1 else x2)
+      (Bdd.eval_minterm m f mt)
+  done
+
+let test_restrict () =
+  let m = Bdd.make_man ~nvars:2 in
+  let f = Bdd.bxor m (Bdd.var m 0) (Bdd.var m 1) in
+  let f0 = Bdd.restrict m f ~var:0 ~value:false in
+  check "xor|x0=0 is x1" true (Bdd.equal f0 (Bdd.var m 1));
+  let f1 = Bdd.restrict m f ~var:0 ~value:true in
+  check "xor|x0=1 is !x1" true (Bdd.equal f1 (Bdd.bnot m (Bdd.var m 1)))
+
+let test_quantification () =
+  let m = Bdd.make_man ~nvars:3 in
+  let f = Bdd.band m (Bdd.var m 0) (Bdd.var m 2) in
+  check "exists x0 (x0&x2) = x2" true
+    (Bdd.equal (Bdd.exists m [ 0 ] f) (Bdd.var m 2));
+  check "forall x0 (x0&x2) = 0" true (Bdd.is_zero m (Bdd.forall m [ 0 ] f));
+  check "exists both = 1" true (Bdd.is_one m (Bdd.exists m [ 0; 2 ] f))
+
+let test_satcount () =
+  let m = Bdd.make_man ~nvars:4 in
+  check_int "count one" 16 (Bdd.satcount m (Bdd.one m));
+  check_int "count zero" 0 (Bdd.satcount m (Bdd.zero m));
+  check_int "count var" 8 (Bdd.satcount m (Bdd.var m 2));
+  let f = Bdd.band m (Bdd.var m 0) (Bdd.var m 3) in
+  check_int "count and" 4 (Bdd.satcount m f);
+  let g = Bdd.bxor m (Bdd.var m 0) (Bdd.var m 1) in
+  check_int "count xor" 8 (Bdd.satcount m g)
+
+let test_any_sat () =
+  let m = Bdd.make_man ~nvars:3 in
+  check "zero has none" true (Bdd.any_sat m (Bdd.zero m) = None);
+  let f = Bdd.band m (Bdd.var m 0) (Bdd.bnot m (Bdd.var m 2)) in
+  (match Bdd.any_sat m f with
+  | Some mt -> check "witness satisfies" true (Bdd.eval_minterm m f mt)
+  | None -> Alcotest.fail "expected a witness")
+
+let test_support_size () =
+  let m = Bdd.make_man ~nvars:5 in
+  let f = Bdd.band m (Bdd.var m 1) (Bdd.bor m (Bdd.var m 3) (Bdd.var m 4)) in
+  Alcotest.(check (list int)) "support" [ 1; 3; 4 ] (Bdd.support m f);
+  check "size positive" true (Bdd.size m f > 0);
+  check_int "size of terminal" 0 (Bdd.size m (Bdd.one m))
+
+let test_cover_conversion () =
+  let m = Bdd.make_man ~nvars:3 in
+  let cover = Cover.make ~n:3 [ Cube.of_string "1-0"; Cube.of_string "-11" ] in
+  let f = Bdd.of_cover m cover in
+  for mt = 0 to 7 do
+    check
+      (Printf.sprintf "of_cover m=%d" mt)
+      (Cover.eval cover mt)
+      (Bdd.eval_minterm m f mt)
+  done;
+  let back = Bdd.to_cover m f in
+  check "to_cover equivalent" true (Cover.equivalent cover back)
+
+let test_bv_conversion () =
+  let m = Bdd.make_man ~nvars:4 in
+  let bv = Bv.of_list 16 [ 0; 3; 7; 9; 15 ] in
+  let f = Bdd.of_bv m bv in
+  check "roundtrip" true (Bv.equal bv (Bdd.to_bv m f));
+  check_int "satcount matches" 5 (Bdd.satcount m f)
+
+let test_xor_chain_size () =
+  (* XOR of n variables has exactly n internal nodes... for ROBDDs
+     without complement edges it is 2n-1 nodes. *)
+  let n = 8 in
+  let m = Bdd.make_man ~nvars:n in
+  let f = ref (Bdd.zero m) in
+  for i = 0 to n - 1 do
+    f := Bdd.bxor m !f (Bdd.var m i)
+  done;
+  check_int "xor chain nodes" ((2 * n) - 1) (Bdd.size m !f);
+  check_int "xor satcount" 128 (Bdd.satcount m !f)
+
+(* Properties: random covers agree with dense evaluation. *)
+
+let gen_cover n =
+  QCheck.Gen.(
+    let gen_cube =
+      list_repeat n (frequencyl [ (2, Cube.Zero); (2, Cube.One); (3, Cube.Free) ])
+      |> map (Cube.make ~n)
+    in
+    list_size (int_range 0 6) gen_cube |> map (fun cs -> Cover.make ~n cs))
+
+let arb_cover n =
+  QCheck.make ~print:(fun cv -> Format.asprintf "%a" Cover.pp cv) (gen_cover n)
+
+let prop_of_cover_semantics =
+  QCheck.Test.make ~name:"of_cover agrees with Cover.eval" ~count:150
+    (arb_cover 6) (fun cover ->
+      let m = Bdd.make_man ~nvars:6 in
+      let f = Bdd.of_cover m cover in
+      let ok = ref true in
+      for mt = 0 to 63 do
+        if Bdd.eval_minterm m f mt <> Cover.eval cover mt then ok := false
+      done;
+      !ok)
+
+let prop_satcount =
+  QCheck.Test.make ~name:"satcount = cover cardinality" ~count:150
+    (arb_cover 6) (fun cover ->
+      let m = Bdd.make_man ~nvars:6 in
+      Bdd.satcount m (Bdd.of_cover m cover) = Cover.cardinality cover)
+
+let prop_complement_cover =
+  QCheck.Test.make ~name:"bnot agrees with Cover.complement" ~count:100
+    (arb_cover 5) (fun cover ->
+      let m = Bdd.make_man ~nvars:5 in
+      Bdd.equal
+        (Bdd.bnot m (Bdd.of_cover m cover))
+        (Bdd.of_cover m (Cover.complement cover)))
+
+let prop_to_cover_roundtrip =
+  QCheck.Test.make ~name:"to_cover/of_cover roundtrip" ~count:100
+    (arb_cover 5) (fun cover ->
+      let m = Bdd.make_man ~nvars:5 in
+      let f = Bdd.of_cover m cover in
+      Bdd.equal f (Bdd.of_cover m (Bdd.to_cover m f)))
+
+let suite =
+  ( "bdd",
+    [
+      Alcotest.test_case "terminals" `Quick test_terminals;
+      Alcotest.test_case "var semantics" `Quick test_var_semantics;
+      Alcotest.test_case "hash consing" `Quick test_hash_consing;
+      Alcotest.test_case "connectives" `Quick test_connectives;
+      Alcotest.test_case "ite" `Quick test_ite;
+      Alcotest.test_case "restrict" `Quick test_restrict;
+      Alcotest.test_case "quantification" `Quick test_quantification;
+      Alcotest.test_case "satcount" `Quick test_satcount;
+      Alcotest.test_case "any_sat" `Quick test_any_sat;
+      Alcotest.test_case "support and size" `Quick test_support_size;
+      Alcotest.test_case "cover conversion" `Quick test_cover_conversion;
+      Alcotest.test_case "bv conversion" `Quick test_bv_conversion;
+      Alcotest.test_case "xor chain size" `Quick test_xor_chain_size;
+      QCheck_alcotest.to_alcotest prop_of_cover_semantics;
+      QCheck_alcotest.to_alcotest prop_satcount;
+      QCheck_alcotest.to_alcotest prop_complement_cover;
+      QCheck_alcotest.to_alcotest prop_to_cover_roundtrip;
+    ] )
+
+(* Variable reordering. *)
+
+let test_convert_identity () =
+  let m = Bdd.make_man ~nvars:4 in
+  let f = Bdd.bor m (Bdd.band m (Bdd.var m 0) (Bdd.var m 1)) (Bdd.var m 3) in
+  let order = [| 0; 1; 2; 3 |] in
+  let m', fs = Bdd.convert_with_order m [ f ] ~order in
+  let f' = List.hd fs in
+  for mt = 0 to 15 do
+    check
+      (Printf.sprintf "identity m=%d" mt)
+      (Bdd.eval_minterm m f mt)
+      (Bdd.eval_reordered m' f' ~order mt)
+  done
+
+let test_convert_reversal () =
+  let m = Bdd.make_man ~nvars:3 in
+  let f = Bdd.bxor m (Bdd.var m 0) (Bdd.band m (Bdd.var m 1) (Bdd.var m 2)) in
+  let order = [| 2; 1; 0 |] in
+  let m', fs = Bdd.convert_with_order m [ f ] ~order in
+  let f' = List.hd fs in
+  for mt = 0 to 7 do
+    check
+      (Printf.sprintf "reversed m=%d" mt)
+      (Bdd.eval_minterm m f mt)
+      (Bdd.eval_reordered m' f' ~order mt)
+  done
+
+let test_sift_order_sensitive_function () =
+  (* f = x0 x3 + x1 x4 + x2 x5 : interleaved order (x0 x3 x1 x4 x2 x5)
+     is exponentially worse than the paired order.  Build it in the
+     BAD order (variables as given are the bad interleaving when named
+     v0..v5 = x0 x1 x2 x3 x4 x5 with pairs (0,3)(1,4)(2,5)). *)
+  let m = Bdd.make_man ~nvars:6 in
+  let pair a b = Bdd.band m (Bdd.var m a) (Bdd.var m b) in
+  let f = Bdd.bor m (Bdd.bor m (pair 0 3) (pair 1 4)) (pair 2 5) in
+  let before = Bdd.size m f in
+  let m', fs, order = Bdd.sift m [ f ] in
+  let f' = List.hd fs in
+  let after = Bdd.size_many m' [ f' ] in
+  check "sifting shrinks the disjoint-pairs function" true (after < before);
+  (* function preserved under the order mapping *)
+  for mt = 0 to 63 do
+    check
+      (Printf.sprintf "sift m=%d" mt)
+      (Bdd.eval_minterm m f mt)
+      (Bdd.eval_reordered m' f' ~order mt)
+  done
+
+let test_size_many_shares () =
+  let m = Bdd.make_man ~nvars:3 in
+  let a = Bdd.band m (Bdd.var m 0) (Bdd.var m 1) in
+  let b = Bdd.bor m a (Bdd.var m 2) in
+  check "shared counting <= sum" true
+    (Bdd.size_many m [ a; b ] <= Bdd.size m a + Bdd.size m b)
+
+let prop_sift_preserves =
+  QCheck.Test.make ~name:"sifting preserves functions" ~count:40 (arb_cover 5)
+    (fun cover ->
+      let m = Bdd.make_man ~nvars:5 in
+      let f = Bdd.of_cover m cover in
+      let m', fs, order = Bdd.sift m [ f ] in
+      let f' = List.hd fs in
+      let ok = ref true in
+      for mt = 0 to 31 do
+        if Bdd.eval_minterm m f mt <> Bdd.eval_reordered m' f' ~order mt then
+          ok := false
+      done;
+      !ok)
+
+let prop_sift_never_grows =
+  QCheck.Test.make ~name:"sifting never grows the node count" ~count:40
+    (arb_cover 5) (fun cover ->
+      let m = Bdd.make_man ~nvars:5 in
+      let f = Bdd.of_cover m cover in
+      let before = Bdd.size_many m [ f ] in
+      let m', fs, _ = Bdd.sift m [ f ] in
+      Bdd.size_many m' fs <= before)
+
+let reorder_cases =
+  [
+    Alcotest.test_case "convert identity order" `Quick test_convert_identity;
+    Alcotest.test_case "convert reversal" `Quick test_convert_reversal;
+    Alcotest.test_case "sifting shrinks pair function" `Quick
+      test_sift_order_sensitive_function;
+    Alcotest.test_case "size_many shares" `Quick test_size_many_shares;
+    QCheck_alcotest.to_alcotest prop_sift_preserves;
+    QCheck_alcotest.to_alcotest prop_sift_never_grows;
+  ]
+
+let suite = (fst suite, snd suite @ reorder_cases)
+
+(* ISOP extraction. *)
+
+let test_isop_fully_specified () =
+  let m = Bdd.make_man ~nvars:3 in
+  let f = Bdd.bor m (Bdd.band m (Bdd.var m 0) (Bdd.var m 1)) (Bdd.var m 2) in
+  let cover, fbdd = Bdd.isop m ~lower:f ~upper:f in
+  check "cover bdd equals f" true (Bdd.equal fbdd f);
+  for mt = 0 to 7 do
+    check
+      (Printf.sprintf "isop m=%d" mt)
+      (Bdd.eval_minterm m f mt)
+      (Cover.eval cover mt)
+  done
+
+let test_isop_with_dc () =
+  (* on = {00}, dc = {01,10} over 2 vars: a single-literal cube fits. *)
+  let m = Bdd.make_man ~nvars:2 in
+  let on = Bdd.band m (Bdd.nvar m 0) (Bdd.nvar m 1) in
+  let up =
+    Bdd.bor m on
+      (Bdd.bor m
+         (Bdd.band m (Bdd.var m 0) (Bdd.nvar m 1))
+         (Bdd.band m (Bdd.nvar m 0) (Bdd.var m 1)))
+  in
+  let cover, fbdd = Bdd.isop m ~lower:on ~upper:up in
+  check_int "one cube" 1 (Cover.size cover);
+  (* interval respected *)
+  check "lower <= cover" true
+    (Bdd.is_zero m (Bdd.band m on (Bdd.bnot m fbdd)));
+  check "cover <= upper" true
+    (Bdd.is_zero m (Bdd.band m fbdd (Bdd.bnot m up)))
+
+let test_isop_rejects_bad_interval () =
+  let m = Bdd.make_man ~nvars:2 in
+  Alcotest.check_raises "bad interval"
+    (Invalid_argument "Bdd.isop: lower not contained in upper") (fun () ->
+      ignore (Bdd.isop m ~lower:(Bdd.one m) ~upper:(Bdd.var m 0)))
+
+let test_isop_large_n () =
+  (* 30-variable sparse function: symbolic synthesis beyond the dense
+     limit. *)
+  let n = 30 in
+  let m = Bdd.make_man ~nvars:n in
+  let f =
+    Bdd.bor m
+      (Bdd.band m (Bdd.var m 0) (Bdd.var m 15))
+      (Bdd.band m (Bdd.var m 7) (Bdd.bnot m (Bdd.var m 29)))
+  in
+  let cover, fbdd = Bdd.isop m ~lower:f ~upper:f in
+  check "exact" true (Bdd.equal fbdd f);
+  check "two cubes" true (Cover.size cover = 2)
+
+let prop_isop_interval =
+  QCheck.Test.make ~name:"isop stays within [on, on+dc]" ~count:100
+    QCheck.(pair (arb_cover 5) (arb_cover 5))
+    (fun (on_c, dc_c) ->
+      let m = Bdd.make_man ~nvars:5 in
+      let on = Bdd.of_cover m on_c in
+      let dc = Bdd.band m (Bdd.of_cover m dc_c) (Bdd.bnot m on) in
+      let up = Bdd.bor m on dc in
+      let cover, fbdd = Bdd.isop m ~lower:on ~upper:up in
+      Bdd.is_zero m (Bdd.band m on (Bdd.bnot m fbdd))
+      && Bdd.is_zero m (Bdd.band m fbdd (Bdd.bnot m up))
+      && Bdd.equal fbdd (Bdd.of_cover m cover))
+
+let prop_isop_competitive =
+  QCheck.Test.make ~name:"isop cover size competitive with dense espresso"
+    ~count:60 (arb_cover 5) (fun on_c ->
+      let m = Bdd.make_man ~nvars:5 in
+      let on = Bdd.of_cover m on_c in
+      let cover, _ = Bdd.isop m ~lower:on ~upper:on in
+      let on_bv = Bdd.to_bv m on in
+      let dc_bv = Bv.create 32 in
+      let esp = Espresso.Dense.minimize ~n:5 ~on:on_bv ~dc:dc_bv in
+      (* ISOP is irredundant, not minimal: allow slack but catch blowups *)
+      Cover.size cover <= (2 * Cover.size esp) + 2)
+
+let isop_cases =
+  [
+    Alcotest.test_case "isop fully specified" `Quick test_isop_fully_specified;
+    Alcotest.test_case "isop exploits dc" `Quick test_isop_with_dc;
+    Alcotest.test_case "isop rejects bad interval" `Quick
+      test_isop_rejects_bad_interval;
+    Alcotest.test_case "isop at n=30" `Quick test_isop_large_n;
+    QCheck_alcotest.to_alcotest prop_isop_interval;
+    QCheck_alcotest.to_alcotest prop_isop_competitive;
+  ]
+
+let suite = (fst suite, snd suite @ isop_cases)
+
+(* More algebraic laws. *)
+
+let prop_exists_forall_duality =
+  QCheck.Test.make ~name:"exists/forall De Morgan duality" ~count:80
+    QCheck.(pair (arb_cover 5) (int_bound 4))
+    (fun (cover, v) ->
+      let m = Bdd.make_man ~nvars:5 in
+      let f = Bdd.of_cover m cover in
+      Bdd.equal
+        (Bdd.bnot m (Bdd.exists m [ v ] f))
+        (Bdd.forall m [ v ] (Bdd.bnot m f)))
+
+let prop_flip_var_involution =
+  QCheck.Test.make ~name:"flip_var is an involution" ~count:80
+    QCheck.(pair (arb_cover 5) (int_bound 4))
+    (fun (cover, v) ->
+      let m = Bdd.make_man ~nvars:5 in
+      let f = Bdd.of_cover m cover in
+      Bdd.equal f (Bdd.flip_var m (Bdd.flip_var m f v) v))
+
+let prop_flip_var_satcount =
+  QCheck.Test.make ~name:"flip_var preserves satcount" ~count:80
+    QCheck.(pair (arb_cover 5) (int_bound 4))
+    (fun (cover, v) ->
+      let m = Bdd.make_man ~nvars:5 in
+      let f = Bdd.of_cover m cover in
+      Bdd.satcount m f = Bdd.satcount m (Bdd.flip_var m f v))
+
+let prop_restrict_shannon =
+  QCheck.Test.make ~name:"Shannon expansion reconstructs" ~count:80
+    QCheck.(pair (arb_cover 5) (int_bound 4))
+    (fun (cover, v) ->
+      let m = Bdd.make_man ~nvars:5 in
+      let f = Bdd.of_cover m cover in
+      let f0 = Bdd.restrict m f ~var:v ~value:false in
+      let f1 = Bdd.restrict m f ~var:v ~value:true in
+      Bdd.equal f (Bdd.ite m (Bdd.var m v) f1 f0))
+
+let law_cases =
+  [
+    QCheck_alcotest.to_alcotest prop_exists_forall_duality;
+    QCheck_alcotest.to_alcotest prop_flip_var_involution;
+    QCheck_alcotest.to_alcotest prop_flip_var_satcount;
+    QCheck_alcotest.to_alcotest prop_restrict_shannon;
+  ]
+
+let suite = (fst suite, snd suite @ law_cases)

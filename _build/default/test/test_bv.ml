@@ -1,0 +1,185 @@
+(* Unit and property tests for Bitvec.Bv. *)
+
+module Bv = Bitvec.Bv
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_create_empty () =
+  let t = Bv.create 100 in
+  check_int "length" 100 (Bv.length t);
+  check_int "cardinal" 0 (Bv.cardinal t);
+  check "is_empty" true (Bv.is_empty t)
+
+let test_set_get_clear () =
+  let t = Bv.create 70 in
+  Bv.set t 0;
+  Bv.set t 62;
+  Bv.set t 63;
+  Bv.set t 69;
+  check "bit 0" true (Bv.get t 0);
+  check "bit 62" true (Bv.get t 62);
+  check "bit 63 (word boundary)" true (Bv.get t 63);
+  check "bit 69" true (Bv.get t 69);
+  check "bit 1" false (Bv.get t 1);
+  check_int "cardinal" 4 (Bv.cardinal t);
+  Bv.clear t 63;
+  check "cleared" false (Bv.get t 63);
+  check_int "cardinal after clear" 3 (Bv.cardinal t)
+
+let test_assign () =
+  let t = Bv.create 8 in
+  Bv.assign t 3 true;
+  check "assigned true" true (Bv.get t 3);
+  Bv.assign t 3 false;
+  check "assigned false" false (Bv.get t 3)
+
+let test_out_of_range () =
+  let t = Bv.create 10 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bv: index out of range")
+    (fun () -> ignore (Bv.get t (-1)));
+  Alcotest.check_raises "get 10" (Invalid_argument "Bv: index out of range")
+    (fun () -> ignore (Bv.get t 10))
+
+let test_fill_complement () =
+  let t = Bv.create 65 in
+  Bv.fill t true;
+  check_int "filled cardinal" 65 (Bv.cardinal t);
+  let c = Bv.complement t in
+  check_int "complement cardinal" 0 (Bv.cardinal c);
+  let c2 = Bv.complement c in
+  check "double complement" true (Bv.equal t c2)
+
+let test_setops () =
+  let a = Bv.of_list 10 [ 1; 3; 5; 7 ] in
+  let b = Bv.of_list 10 [ 3; 4; 5; 6 ] in
+  Alcotest.(check (list int)) "union" [ 1; 3; 4; 5; 6; 7 ]
+    (Bv.to_list (Bv.union a b));
+  Alcotest.(check (list int)) "inter" [ 3; 5 ] (Bv.to_list (Bv.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 7 ] (Bv.to_list (Bv.diff a b));
+  check "subset no" false (Bv.subset a b);
+  check "subset yes" true (Bv.subset (Bv.inter a b) a);
+  check "disjoint no" false (Bv.disjoint a b);
+  check "disjoint yes" true (Bv.disjoint (Bv.diff a b) b)
+
+let test_inplace () =
+  let a = Bv.of_list 10 [ 1; 2 ] in
+  let b = Bv.of_list 10 [ 2; 3 ] in
+  Bv.union_in_place a b;
+  Alcotest.(check (list int)) "union_in_place" [ 1; 2; 3 ] (Bv.to_list a);
+  Bv.diff_in_place a b;
+  Alcotest.(check (list int)) "diff_in_place" [ 1 ] (Bv.to_list a);
+  let c = Bv.of_list 10 [ 1; 5 ] in
+  Bv.inter_in_place c (Bv.of_list 10 [ 5 ]);
+  Alcotest.(check (list int)) "inter_in_place" [ 5 ] (Bv.to_list c)
+
+let test_iter_fold () =
+  let t = Bv.of_list 200 [ 0; 63; 64; 126; 199 ] in
+  let collected = ref [] in
+  Bv.iter_set (fun i -> collected := i :: !collected) t;
+  Alcotest.(check (list int)) "iter order" [ 0; 63; 64; 126; 199 ]
+    (List.rev !collected);
+  check_int "fold sum" (0 + 63 + 64 + 126 + 199)
+    (Bv.fold_set (fun i acc -> acc + i) t 0)
+
+let test_copy_independent () =
+  let a = Bv.of_list 10 [ 1 ] in
+  let b = Bv.copy a in
+  Bv.set b 2;
+  check "copy independent" false (Bv.get a 2);
+  check "copy kept" true (Bv.get b 1)
+
+(* Properties *)
+
+let gen_ops =
+  QCheck.(pair (small_nat |> map (fun n -> n + 1)) (list small_nat))
+
+let prop_of_list_roundtrip =
+  QCheck.Test.make ~name:"of_list/to_list roundtrip" ~count:200 gen_ops
+    (fun (n, l) ->
+      let l = List.filter (fun i -> i < n) l |> List.sort_uniq compare in
+      Bv.to_list (Bv.of_list n l) = l)
+
+let prop_demorgan =
+  QCheck.Test.make ~name:"De Morgan: not (a|b) = not a & not b" ~count:200
+    QCheck.(triple small_nat (list small_nat) (list small_nat))
+    (fun (n0, la, lb) ->
+      let n = n0 + 1 in
+      let mk l = Bv.of_list n (List.filter (fun i -> i < n) l) in
+      let a = mk la and b = mk lb in
+      Bv.equal
+        (Bv.complement (Bv.union a b))
+        (Bv.inter (Bv.complement a) (Bv.complement b)))
+
+let prop_cardinal_union =
+  QCheck.Test.make ~name:"|a|+|b| = |a∪b|+|a∩b|" ~count:200
+    QCheck.(triple small_nat (list small_nat) (list small_nat))
+    (fun (n0, la, lb) ->
+      let n = n0 + 1 in
+      let mk l = Bv.of_list n (List.filter (fun i -> i < n) l) in
+      let a = mk la and b = mk lb in
+      Bv.cardinal a + Bv.cardinal b
+      = Bv.cardinal (Bv.union a b) + Bv.cardinal (Bv.inter a b))
+
+let suite =
+  ( "bv",
+    [
+      Alcotest.test_case "create empty" `Quick test_create_empty;
+      Alcotest.test_case "set/get/clear across word boundary" `Quick
+        test_set_get_clear;
+      Alcotest.test_case "assign" `Quick test_assign;
+      Alcotest.test_case "out of range raises" `Quick test_out_of_range;
+      Alcotest.test_case "fill and complement respect padding" `Quick
+        test_fill_complement;
+      Alcotest.test_case "set operations" `Quick test_setops;
+      Alcotest.test_case "in-place operations" `Quick test_inplace;
+      Alcotest.test_case "iter/fold order" `Quick test_iter_fold;
+      Alcotest.test_case "copy independence" `Quick test_copy_independent;
+      QCheck_alcotest.to_alcotest prop_of_list_roundtrip;
+      QCheck_alcotest.to_alcotest prop_demorgan;
+      QCheck_alcotest.to_alcotest prop_cardinal_union;
+    ] )
+
+(* Word-boundary and duplicate edge cases. *)
+
+let test_exact_word_lengths () =
+  List.iter
+    (fun n ->
+      let t = Bv.create n in
+      Bv.fill t true;
+      Alcotest.(check int) (Printf.sprintf "fill %d" n) n (Bv.cardinal t);
+      let c = Bv.complement t in
+      Alcotest.(check int) (Printf.sprintf "compl %d" n) 0 (Bv.cardinal c))
+    [ 1; 62; 63; 64; 126; 127 ]
+
+let test_of_list_duplicates () =
+  let t = Bv.of_list 8 [ 3; 3; 3 ] in
+  Alcotest.(check int) "dup sets once" 1 (Bv.cardinal t)
+
+let test_zero_length () =
+  let t = Bv.create 0 in
+  Alcotest.(check int) "empty" 0 (Bv.cardinal t);
+  Alcotest.(check bool) "is_empty" true (Bv.is_empty t);
+  Alcotest.(check bool) "equal to self complement" true
+    (Bv.equal t (Bv.complement t))
+
+let prop_subset_reflexive_transitive =
+  QCheck.Test.make ~name:"subset is reflexive and transitive via inter"
+    ~count:200
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (la, lb) ->
+      let n = 40 in
+      let mk l = Bv.of_list n (List.filter (fun i -> i < n) l) in
+      let a = mk la and b = mk lb in
+      let i = Bv.inter a b in
+      Bv.subset a a && Bv.subset i a && Bv.subset i b)
+
+let extra_cases =
+  [
+    Alcotest.test_case "exact word lengths" `Quick test_exact_word_lengths;
+    Alcotest.test_case "of_list duplicates" `Quick test_of_list_duplicates;
+    Alcotest.test_case "zero length" `Quick test_zero_length;
+    QCheck_alcotest.to_alcotest prop_subset_reflexive_transitive;
+  ]
+
+let suite = (fst suite, snd suite @ extra_cases)

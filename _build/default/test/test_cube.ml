@@ -1,0 +1,210 @@
+(* Unit and property tests for Twolevel.Cube. *)
+
+module Cube = Twolevel.Cube
+module M = Bitvec.Minterm
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let c s = Cube.of_string s
+
+let test_string_roundtrip () =
+  check_str "mixed" "01-1" (Cube.to_string ~n:4 (c "01-1"));
+  check_str "all free" "----" (Cube.to_string ~n:4 (Cube.full ~n:4));
+  check_str "espresso 2 accepted" "0-1" (Cube.to_string ~n:3 (c "021"))
+
+let test_of_minterm () =
+  let cb = Cube.of_minterm ~n:4 0b0101 in
+  check_str "minterm 5" "1010" (Cube.to_string ~n:4 cb);
+  check "contains itself" true (Cube.contains_minterm cb 0b0101);
+  check "not neighbour" false (Cube.contains_minterm cb 0b0100)
+
+let test_get_set () =
+  let cb = c "0-1" in
+  Alcotest.(check bool) "get 0" true (Cube.get cb 0 = Cube.Zero);
+  Alcotest.(check bool) "get 1" true (Cube.get cb 1 = Cube.Free);
+  Alcotest.(check bool) "get 2" true (Cube.get cb 2 = Cube.One);
+  let cb2 = Cube.set cb 1 Cube.One in
+  check_str "after set" "011" (Cube.to_string ~n:3 cb2)
+
+let test_contains_minterm () =
+  let cb = c "1-0" in
+  (* variable 0 = 1, variable 1 free, variable 2 = 0 *)
+  check "m=1 (001 as bits)" true (Cube.contains_minterm cb 0b001);
+  check "m=3" true (Cube.contains_minterm cb 0b011);
+  check "m=0 fails var0" false (Cube.contains_minterm cb 0b000);
+  check "m=5 fails var2" false (Cube.contains_minterm cb 0b101)
+
+let test_subsumes () =
+  check "wider subsumes narrower" true (Cube.subsumes (c "--1") (c "011"));
+  check "narrower not wider" false (Cube.subsumes (c "011") (c "--1"));
+  check "reflexive" true (Cube.subsumes (c "01-") (c "01-"));
+  check "disjoint" false (Cube.subsumes (c "1--") (c "0--"))
+
+let test_intersect () =
+  (match Cube.intersect (c "1--") (c "-0-") with
+  | Some x -> check_str "meet" "10-" (Cube.to_string ~n:3 x)
+  | None -> Alcotest.fail "expected intersection");
+  check "empty" true (Cube.intersect (c "1--") (c "0--") = None)
+
+let test_distance () =
+  check_int "distance 0" 0 (Cube.distance ~n:3 (c "1--") (c "-0-"));
+  check_int "distance 1" 1 (Cube.distance ~n:3 (c "1--") (c "0--"));
+  check_int "distance 3" 3 (Cube.distance ~n:3 (c "111") (c "000"))
+
+let test_supercube () =
+  check_str "supercube" "-1-"
+    (Cube.to_string ~n:3 (Cube.supercube (c "010") (c "11-")))
+
+let test_cofactor () =
+  (* a = 1-0, c = 1-- : cofactor frees variable 0. *)
+  (match Cube.cofactor ~n:3 (c "1-0") (c "1--") with
+  | Some x -> check_str "cofactor" "--0" (Cube.to_string ~n:3 x)
+  | None -> Alcotest.fail "expected cofactor");
+  check "distance > 0 -> None" true (Cube.cofactor ~n:3 (c "1--") (c "0--") = None)
+
+let test_counts () =
+  check_int "free_count" 2 (Cube.free_count ~n:4 (c "1--0"));
+  check_int "minterm_count" 4 (Cube.minterm_count ~n:4 (c "1--0"));
+  check_int "minterm full" 16 (Cube.minterm_count ~n:4 (Cube.full ~n:4))
+
+let test_iter_minterms () =
+  let seen = ref [] in
+  Cube.iter_minterms ~n:3 (fun m -> seen := m :: !seen) (c "1-0");
+  let seen = List.sort compare !seen in
+  Alcotest.(check (list int)) "minterms of 1-0" [ 0b001; 0b011 ] seen
+
+let test_complement_lits () =
+  let parts = Cube.complement_lits ~n:3 (c "10-") in
+  check_int "two parts" 2 (List.length parts);
+  (* Union of parts plus original = whole space, all disjoint from cube. *)
+  let covered = Array.make 8 false in
+  List.iter
+    (fun p ->
+      Cube.iter_minterms ~n:3 (fun m ->
+          check "disjoint from cube" false (Cube.contains_minterm (c "10-") m);
+          covered.(m) <- true)
+        p)
+    parts;
+  Cube.iter_minterms ~n:3 (fun m -> covered.(m) <- true) (c "10-");
+  Array.iteri (fun m v -> check (Printf.sprintf "minterm %d covered" m) true v) covered
+
+let gen_cube n =
+  QCheck.Gen.(
+    list_repeat n (oneofl [ Cube.Zero; Cube.One; Cube.Free ])
+    |> map (fun lits -> Cube.make ~n lits))
+
+let arb_cube n =
+  QCheck.make ~print:(Cube.to_string ~n) (gen_cube n)
+
+let prop_subsume_semantics =
+  QCheck.Test.make ~name:"subsumes agrees with minterm containment" ~count:300
+    QCheck.(pair (arb_cube 6) (arb_cube 6))
+    (fun (a, b) ->
+      let sub = Cube.subsumes a b in
+      let sem = ref true in
+      Cube.iter_minterms ~n:6 (fun m ->
+          if not (Cube.contains_minterm a m) then sem := false)
+        b;
+      sub = !sem)
+
+let prop_intersect_semantics =
+  QCheck.Test.make ~name:"intersect = minterm set intersection" ~count:300
+    QCheck.(pair (arb_cube 6) (arb_cube 6))
+    (fun (a, b) ->
+      let expected m = Cube.contains_minterm a m && Cube.contains_minterm b m in
+      match Cube.intersect a b with
+      | None ->
+          let any = ref false in
+          for m = 0 to 63 do
+            if expected m then any := true
+          done;
+          not !any
+      | Some x ->
+          let ok = ref true in
+          for m = 0 to 63 do
+            if Cube.contains_minterm x m <> expected m then ok := false
+          done;
+          !ok)
+
+let prop_supercube_contains =
+  QCheck.Test.make ~name:"supercube contains both operands" ~count:300
+    QCheck.(pair (arb_cube 6) (arb_cube 6))
+    (fun (a, b) ->
+      let s = Cube.supercube a b in
+      Cube.subsumes s a && Cube.subsumes s b)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"cube string roundtrip" ~count:300 (arb_cube 8)
+    (fun cb -> Cube.equal cb (Cube.of_string (Cube.to_string ~n:8 cb)))
+
+let prop_minterm_count =
+  QCheck.Test.make ~name:"minterm_count matches enumeration" ~count:300
+    (arb_cube 7) (fun cb ->
+      let cnt = ref 0 in
+      Cube.iter_minterms ~n:7 (fun _ -> incr cnt) cb;
+      !cnt = Cube.minterm_count ~n:7 cb)
+
+let suite =
+  ( "cube",
+    [
+      Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+      Alcotest.test_case "of_minterm" `Quick test_of_minterm;
+      Alcotest.test_case "get/set" `Quick test_get_set;
+      Alcotest.test_case "contains_minterm" `Quick test_contains_minterm;
+      Alcotest.test_case "subsumes" `Quick test_subsumes;
+      Alcotest.test_case "intersect" `Quick test_intersect;
+      Alcotest.test_case "distance" `Quick test_distance;
+      Alcotest.test_case "supercube" `Quick test_supercube;
+      Alcotest.test_case "cofactor" `Quick test_cofactor;
+      Alcotest.test_case "counts" `Quick test_counts;
+      Alcotest.test_case "iter_minterms" `Quick test_iter_minterms;
+      Alcotest.test_case "complement_lits partitions" `Quick
+        test_complement_lits;
+      QCheck_alcotest.to_alcotest prop_subsume_semantics;
+      QCheck_alcotest.to_alcotest prop_intersect_semantics;
+      QCheck_alcotest.to_alcotest prop_supercube_contains;
+      QCheck_alcotest.to_alcotest prop_string_roundtrip;
+      QCheck_alcotest.to_alcotest prop_minterm_count;
+    ] )
+
+(* Additional algebraic properties. *)
+
+let prop_distance_symmetric =
+  QCheck.Test.make ~name:"distance is symmetric" ~count:300
+    QCheck.(pair (arb_cube 6) (arb_cube 6))
+    (fun (a, b) -> Cube.distance ~n:6 a b = Cube.distance ~n:6 b a)
+
+let prop_supercube_minimal =
+  QCheck.Test.make ~name:"supercube is the least upper bound" ~count:300
+    QCheck.(triple (arb_cube 5) (arb_cube 5) (arb_cube 5))
+    (fun (a, b, c) ->
+      (* any cube containing both a and b contains their supercube *)
+      if Cube.subsumes c a && Cube.subsumes c b then
+        Cube.subsumes c (Cube.supercube a b)
+      else true)
+
+let prop_set_get =
+  QCheck.Test.make ~name:"set then get" ~count:300
+    QCheck.(triple (arb_cube 6) (int_bound 5) (int_bound 2))
+    (fun (cb, j, li) ->
+      let lit = match li with 0 -> Cube.Zero | 1 -> Cube.One | _ -> Cube.Free in
+      Cube.get (Cube.set cb j lit) j = lit)
+
+let prop_cofactor_full_is_identity =
+  QCheck.Test.make ~name:"cofactor by full cube is identity" ~count:300
+    (arb_cube 6) (fun cb ->
+      match Cube.cofactor ~n:6 cb (Cube.full ~n:6) with
+      | Some r -> Cube.equal r cb
+      | None -> false)
+
+let extra_cases =
+  [
+    QCheck_alcotest.to_alcotest prop_distance_symmetric;
+    QCheck_alcotest.to_alcotest prop_supercube_minimal;
+    QCheck_alcotest.to_alcotest prop_set_get;
+    QCheck_alcotest.to_alcotest prop_cofactor_full_is_identity;
+  ]
+
+let suite = (fst suite, snd suite @ extra_cases)

@@ -1,0 +1,150 @@
+(* Tests for truth tables and NPN machinery. *)
+
+module Truth = Logic.Truth
+module Npn = Logic.Npn
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_of_fun_eval () =
+  let tt = Truth.of_fun 2 (fun idx -> idx = 3) in
+  check_int "and2 table" 0b1000 tt;
+  check "eval 3" true (Truth.eval tt 3);
+  check "eval 1" false (Truth.eval tt 1)
+
+let test_var () =
+  check_int "x0 over 2" 0b1010 (Truth.var 2 0);
+  check_int "x1 over 2" 0b1100 (Truth.var 2 1)
+
+let test_connectives () =
+  let x0 = Truth.var 2 0 and x1 = Truth.var 2 1 in
+  check_int "and" 0b1000 (Truth.tand x0 x1);
+  check_int "or" 0b1110 (Truth.tor x0 x1);
+  check_int "xor" 0b0110 (Truth.txor x0 x1);
+  check_int "not x0" 0b0101 (Truth.tnot 2 x0);
+  check_int "ones" 0b1111 (Truth.ones 2)
+
+let test_cofactor_depends () =
+  let x0 = Truth.var 2 0 and x1 = Truth.var 2 1 in
+  let f = Truth.tand x0 x1 in
+  check_int "f|x0=1 = x1" x1 (Truth.cofactor 2 f ~i:0 ~value:true);
+  check_int "f|x0=0 = 0" 0 (Truth.cofactor 2 f ~i:0 ~value:false);
+  check "depends x0" true (Truth.depends_on 2 f 0);
+  check "const doesn't depend" false (Truth.depends_on 2 (Truth.ones 2) 0);
+  check_int "support of and2" 2 (Truth.support_size 2 f);
+  check_int "support of x1" 1 (Truth.support_size 2 x1)
+
+let test_permute () =
+  (* f = x0 & !x1; swapping inputs gives !x0 & x1. *)
+  let f = Truth.tand (Truth.var 2 0) (Truth.tnot 2 (Truth.var 2 1)) in
+  let g = Truth.permute 2 f [| 1; 0 |] in
+  let expected = Truth.tand (Truth.tnot 2 (Truth.var 2 0)) (Truth.var 2 1) in
+  check_int "swapped" expected g;
+  check_int "identity" f (Truth.permute 2 f [| 0; 1 |]);
+  Alcotest.check_raises "bad perm"
+    (Invalid_argument "Truth.permute: not a permutation") (fun () ->
+      ignore (Truth.permute 2 f [| 0; 0 |]))
+
+let test_negate_input () =
+  let x0 = Truth.var 2 0 in
+  check_int "negate x0" (Truth.tnot 2 x0) (Truth.negate_input 2 x0 0);
+  check_int "negate other input unchanged" x0 (Truth.negate_input 2 x0 1)
+
+let test_expand () =
+  let x0 = Truth.var 1 0 in
+  let e = Truth.expand 1 x0 ~extra:1 in
+  check_int "expanded projection" (Truth.var 2 0) e
+
+let test_to_string () =
+  Alcotest.(check string) "and2" "0001" (Truth.to_string 2 0b1000)
+
+let test_permutations () =
+  check_int "3! perms" 6 (List.length (Npn.permutations 3));
+  check_int "0! perms" 1 (List.length (Npn.permutations 0));
+  let all = Npn.permutations 4 in
+  check_int "4! perms" 24 (List.length all);
+  check "all distinct" true
+    (List.length (List.sort_uniq compare all) = 24)
+
+let test_npn_canonical_classes () =
+  (* AND2 and NOR2 are NPN-equivalent: nor(a,b) = and(!a,!b). *)
+  let and2 = Truth.tand (Truth.var 2 0) (Truth.var 2 1) in
+  let nor2 = Truth.tnot 2 (Truth.tor (Truth.var 2 0) (Truth.var 2 1)) in
+  let c1, _ = Npn.canonical 2 and2 in
+  let c2, _ = Npn.canonical 2 nor2 in
+  check_int "same NPN class" c1 c2;
+  (* XOR2 is in a different class from AND2. *)
+  let xor2 = Truth.txor (Truth.var 2 0) (Truth.var 2 1) in
+  let c3, _ = Npn.canonical 2 xor2 in
+  check "different class" true (c1 <> c3)
+
+let test_npn_transform_witness () =
+  let and2 = Truth.tand (Truth.var 2 0) (Truth.var 2 1) in
+  let canon, tr = Npn.canonical 2 and2 in
+  check_int "witness applies" canon (Npn.apply 2 and2 tr)
+
+let test_p_variants () =
+  (* AND2 is symmetric: only one P-variant. *)
+  let and2 = Truth.tand (Truth.var 2 0) (Truth.var 2 1) in
+  check_int "symmetric" 1 (List.length (Npn.p_variants 2 and2));
+  (* x0 & !x1 has two. *)
+  let f = Truth.tand (Truth.var 2 0) (Truth.tnot 2 (Truth.var 2 1)) in
+  check_int "asymmetric" 2 (List.length (Npn.p_variants 2 f))
+
+let test_np_variants () =
+  let and2 = Truth.tand (Truth.var 2 0) (Truth.var 2 1) in
+  (* and / and-not (x2 ways) / nor: 4 distinct NP variants of AND2. *)
+  check_int "np variants of and2" 4 (List.length (Npn.np_variants 2 and2))
+
+let prop_npn_canonical_invariant =
+  QCheck.Test.make ~name:"canonical is invariant under random transforms"
+    ~count:200
+    QCheck.(pair (int_bound 0xffff) (int_bound 23))
+    (fun (tt, pidx) ->
+      let perms = Array.of_list (Npn.permutations 4) in
+      let tr =
+        { Npn.perm = perms.(pidx); input_neg = tt land 0xf; output_neg = tt land 1 = 1 }
+      in
+      let tt = tt land Truth.mask 4 in
+      let transformed = Npn.apply 4 tt tr in
+      fst (Npn.canonical 4 tt) = fst (Npn.canonical 4 transformed))
+
+let prop_permute_compose =
+  QCheck.Test.make ~name:"permute by inverse undoes permute" ~count:200
+    QCheck.(pair (int_bound 0xffff) (int_bound 23))
+    (fun (tt, pidx) ->
+      let tt = tt land Truth.mask 4 in
+      let perms = Array.of_list (Npn.permutations 4) in
+      let p = perms.(pidx) in
+      let inv = Array.make 4 0 in
+      Array.iteri (fun j pj -> inv.(pj) <- j) p;
+      Truth.permute 4 (Truth.permute 4 tt p) inv = tt)
+
+let prop_negate_involution =
+  QCheck.Test.make ~name:"input negation is an involution" ~count:200
+    QCheck.(pair (int_bound 0xffff) (int_bound 3))
+    (fun (tt, i) ->
+      let tt = tt land Truth.mask 4 in
+      Truth.negate_input 4 (Truth.negate_input 4 tt i) i = tt)
+
+let suite =
+  ( "logic",
+    [
+      Alcotest.test_case "of_fun/eval" `Quick test_of_fun_eval;
+      Alcotest.test_case "var tables" `Quick test_var;
+      Alcotest.test_case "connectives" `Quick test_connectives;
+      Alcotest.test_case "cofactor/depends" `Quick test_cofactor_depends;
+      Alcotest.test_case "permute" `Quick test_permute;
+      Alcotest.test_case "negate input" `Quick test_negate_input;
+      Alcotest.test_case "expand" `Quick test_expand;
+      Alcotest.test_case "to_string" `Quick test_to_string;
+      Alcotest.test_case "permutations" `Quick test_permutations;
+      Alcotest.test_case "npn classes" `Quick test_npn_canonical_classes;
+      Alcotest.test_case "npn transform witness" `Quick
+        test_npn_transform_witness;
+      Alcotest.test_case "p variants" `Quick test_p_variants;
+      Alcotest.test_case "np variants" `Quick test_np_variants;
+      QCheck_alcotest.to_alcotest prop_npn_canonical_invariant;
+      QCheck_alcotest.to_alcotest prop_permute_compose;
+      QCheck_alcotest.to_alcotest prop_negate_involution;
+    ] )

@@ -1,0 +1,81 @@
+(* Unit and property tests for Bitvec.Minterm. *)
+
+module M = Bitvec.Minterm
+
+let check_int = Alcotest.(check int)
+
+let test_space_size () =
+  check_int "2^0" 1 (M.space_size 0);
+  check_int "2^10" 1024 (M.space_size 10);
+  Alcotest.check_raises "negative" (Invalid_argument "Minterm.space_size")
+    (fun () -> ignore (M.space_size (-1)))
+
+let test_popcount () =
+  check_int "0" 0 (M.popcount 0);
+  check_int "0b1011" 3 (M.popcount 0b1011);
+  check_int "max block" 10 (M.popcount 0b1111111111)
+
+let test_hamming () =
+  check_int "same" 0 (M.hamming 42 42);
+  check_int "one bit" 1 (M.hamming 0b100 0b110);
+  check_int "all of 4" 4 (M.hamming 0b0000 0b1111)
+
+let test_neighbours () =
+  Alcotest.(check (list int))
+    "neighbours of 0 over 3 inputs" [ 1; 2; 4 ]
+    (M.neighbours ~n:3 0);
+  Alcotest.(check (list int))
+    "neighbours of 5 over 3 inputs" [ 4; 7; 1 ]
+    (M.neighbours ~n:3 5)
+
+let test_neighbour_involution () =
+  check_int "flip twice" 13 (M.neighbour (M.neighbour 13 2) 2)
+
+let test_string_roundtrip () =
+  (* Leftmost char is x0: minterm 1 (x0=1) renders as "100" for n=3. *)
+  Alcotest.(check string) "x0 leftmost" "100" (M.to_string ~n:3 1);
+  Alcotest.(check string) "x2 only" "001" (M.to_string ~n:3 4);
+  check_int "parse back" 5 (M.of_string (M.to_string ~n:4 5))
+
+let test_of_bits () =
+  check_int "of_bits LSB first" 0b101 (M.of_bits [ true; false; true ])
+
+let test_iter_space () =
+  let count = ref 0 in
+  M.iter_space ~n:4 (fun _ -> incr count);
+  check_int "space visits" 16 !count;
+  check_int "fold sum" 120 (M.fold_space ~n:4 (fun m acc -> acc + m) 0)
+
+let prop_neighbour_distance =
+  QCheck.Test.make ~name:"neighbours are at Hamming distance 1" ~count:200
+    QCheck.(pair (int_bound 4095) (int_bound 11))
+    (fun (m, j) -> M.hamming m (M.neighbour m j) = 1)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:200
+    QCheck.(int_bound 4095)
+    (fun m -> M.of_string (M.to_string ~n:12 m) = m)
+
+let prop_popcount_additive =
+  QCheck.Test.make ~name:"popcount of disjoint or is additive" ~count:200
+    QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+    (fun (a, b) ->
+      let b = b land lnot a in
+      M.popcount (a lor b) = M.popcount a + M.popcount b)
+
+let suite =
+  ( "minterm",
+    [
+      Alcotest.test_case "space_size" `Quick test_space_size;
+      Alcotest.test_case "popcount" `Quick test_popcount;
+      Alcotest.test_case "hamming" `Quick test_hamming;
+      Alcotest.test_case "neighbours" `Quick test_neighbours;
+      Alcotest.test_case "neighbour involution" `Quick
+        test_neighbour_involution;
+      Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+      Alcotest.test_case "of_bits" `Quick test_of_bits;
+      Alcotest.test_case "iter_space" `Quick test_iter_space;
+      QCheck_alcotest.to_alcotest prop_neighbour_distance;
+      QCheck_alcotest.to_alcotest prop_string_roundtrip;
+      QCheck_alcotest.to_alcotest prop_popcount_additive;
+    ] )

@@ -1,0 +1,144 @@
+(* Tests for synthetic benchmark generation and the Table 1 suite. *)
+
+module Spec = Pla.Spec
+module SG = Synthetic.Synth_gen
+module Suite = Synthetic.Suite
+module Borders = Reliability.Borders
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_f tol = Alcotest.(check (float tol))
+
+let test_random_codes_counts () =
+  let rng = Random.State.make [| 1 |] in
+  let p =
+    { (SG.default_params ~ni:6 ~dc_frac:0.5 ~target_cf:None) with
+      SG.on_count = 20; off_count = 12 }
+  in
+  let s = SG.output ~rng p in
+  check_int "on count exact" 20 (Spec.on_count s ~o:0);
+  check_int "off count exact" 12 (Spec.off_count s ~o:0);
+  check_int "dc is remainder" (64 - 32) (Spec.dc_count s ~o:0)
+
+let test_target_cf_reached_low () =
+  let rng = Random.State.make [| 2 |] in
+  let p = SG.default_params ~ni:8 ~dc_frac:0.6 ~target_cf:(Some 0.45) in
+  let s = SG.output ~rng p in
+  check_f 0.02 "low target reached" 0.45 (Borders.complexity_factor s ~o:0)
+
+let test_target_cf_reached_high () =
+  let rng = Random.State.make [| 3 |] in
+  let p = SG.default_params ~ni:8 ~dc_frac:0.8 ~target_cf:(Some 0.80) in
+  let s = SG.output ~rng p in
+  check_f 0.02 "high target reached" 0.80 (Borders.complexity_factor s ~o:0)
+
+let test_counts_preserved_by_annealing () =
+  let rng = Random.State.make [| 4 |] in
+  let p = SG.default_params ~ni:7 ~dc_frac:0.5 ~target_cf:(Some 0.7) in
+  let s = SG.output ~rng p in
+  check_int "on preserved" p.SG.on_count (Spec.on_count s ~o:0);
+  check_int "off preserved" p.SG.off_count (Spec.off_count s ~o:0)
+
+let test_coin_lands_near_expected_cf () =
+  (* Without a target, measured cf should be near E[C^f]. *)
+  let rng = Random.State.make [| 5 |] in
+  let p = SG.default_params ~ni:10 ~dc_frac:0.6 ~target_cf:None in
+  let s = SG.output ~rng p in
+  let expected = Borders.expected_complexity_factor s ~o:0 in
+  check_f 0.03 "coin at expectation" expected
+    (Borders.complexity_factor s ~o:0)
+
+let test_multi_output () =
+  let rng = Random.State.make [| 6 |] in
+  let p = SG.default_params ~ni:6 ~dc_frac:0.5 ~target_cf:(Some 0.6) in
+  let s = SG.spec ~rng ~no:4 p in
+  check_int "outputs" 4 (Spec.no s);
+  for o = 0 to 3 do
+    check
+      (Printf.sprintf "output %d near target" o)
+      true
+      (abs_float (Borders.complexity_factor s ~o -. 0.6) < 0.05)
+  done
+
+let test_random_spec_probs () =
+  let rng = Random.State.make [| 7 |] in
+  let s = SG.random_spec ~rng ~ni:10 ~no:2 ~f1:0.2 ~f0:0.3 in
+  let f1, f0, fdc = Spec.signal_probs s ~o:0 in
+  check_f 0.05 "f1" 0.2 f1;
+  check_f 0.05 "f0" 0.3 f0;
+  check_f 0.05 "fdc" 0.5 fdc
+
+let test_suite_entries () =
+  check_int "twelve benchmarks" 12 (List.length Suite.entries);
+  let ex = Suite.find "ex1010" in
+  check_int "ex1010 inputs" 10 ex.Suite.ni;
+  check_int "ex1010 outputs" 10 ex.Suite.no;
+  check "unknown raises" true
+    (match Suite.find "nope" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_suite_deterministic () =
+  let s1 = Suite.load_by_name "bench" in
+  let s2 = Suite.load_by_name "bench" in
+  check "deterministic generation" true (Spec.equal s1 s2)
+
+let test_suite_matches_table1 () =
+  (* Spot-check three benchmarks spanning the C^f range. *)
+  List.iter
+    (fun name ->
+      let entry = Suite.find name in
+      let s = Suite.load entry in
+      check_int "ni" entry.Suite.ni (Spec.ni s);
+      check_int "no" entry.Suite.no (Spec.no s);
+      check_f 2.0
+        (Printf.sprintf "%s dc%%" name)
+        entry.Suite.dc_percent
+        (100.0 *. Spec.dc_fraction s);
+      check_f 0.04
+        (Printf.sprintf "%s cf" name)
+        entry.Suite.cf
+        (Borders.mean_complexity_factor s))
+    [ "bench"; "fout"; "exam" ]
+
+let suite =
+  ( "synthetic",
+    [
+      Alcotest.test_case "exact phase counts" `Quick test_random_codes_counts;
+      Alcotest.test_case "low cf target" `Quick test_target_cf_reached_low;
+      Alcotest.test_case "high cf target" `Quick test_target_cf_reached_high;
+      Alcotest.test_case "annealing preserves counts" `Quick
+        test_counts_preserved_by_annealing;
+      Alcotest.test_case "coin lands at expected cf" `Quick
+        test_coin_lands_near_expected_cf;
+      Alcotest.test_case "multi output" `Quick test_multi_output;
+      Alcotest.test_case "random_spec probabilities" `Quick
+        test_random_spec_probs;
+      Alcotest.test_case "suite entries" `Quick test_suite_entries;
+      Alcotest.test_case "suite deterministic" `Quick test_suite_deterministic;
+      Alcotest.test_case "suite matches table 1 stats" `Quick
+        test_suite_matches_table1;
+    ] )
+
+let test_target_cf_reached_very_low () =
+  (* Fully specified, near-parity target: reachable thanks to the
+     checkerboard seed. *)
+  let rng = Random.State.make [| 8 |] in
+  let p = SG.default_params ~ni:8 ~dc_frac:0.0 ~target_cf:(Some 0.10) in
+  let s = SG.output ~rng p in
+  check_f 0.02 "very low target" 0.10 (Borders.complexity_factor s ~o:0)
+
+let test_zero_dc_counts () =
+  let rng = Random.State.make [| 9 |] in
+  let p = SG.default_params ~ni:6 ~dc_frac:0.0 ~target_cf:None in
+  let s = SG.output ~rng p in
+  check_int "no dc" 0 (Spec.dc_count s ~o:0)
+
+let extra_cases =
+  [
+    Alcotest.test_case "very low cf target" `Quick
+      test_target_cf_reached_very_low;
+    Alcotest.test_case "zero dc fraction" `Quick test_zero_dc_counts;
+  ]
+
+let suite = (fst suite, snd suite @ extra_cases)

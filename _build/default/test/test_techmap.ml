@@ -1,0 +1,238 @@
+(* Tests for the standard-cell library and the technology mapper. *)
+
+module Cover = Twolevel.Cover
+module Cube = Twolevel.Cube
+module Truth = Logic.Truth
+module Stdcell = Techmap.Stdcell
+module Mapper = Techmap.Mapper
+module Report = Techmap.Report
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lib = Stdcell.default_library ()
+
+let test_library_valid () =
+  (match Stdcell.validate lib with
+  | None -> ()
+  | Some msg -> Alcotest.fail ("library invalid: " ^ msg));
+  check "has inv" true ((Stdcell.inv lib).Stdcell.name = "INV");
+  check "has buf" true ((Stdcell.buf lib).Stdcell.name = "BUF")
+
+let test_library_tts () =
+  let nand2 = Stdcell.find lib "NAND2" in
+  check_int "nand2 tt" 0b0111 nand2.Stdcell.tt;
+  let aoi21 = Stdcell.find lib "AOI21" in
+  (* AOI21 = !((a&b)|c): true for idx where not((a&&b)||c). *)
+  for idx = 0 to 7 do
+    let a = idx land 1 <> 0 and b = idx land 2 <> 0 and c = idx land 4 <> 0 in
+    check
+      (Printf.sprintf "aoi21 idx=%d" idx)
+      (not ((a && b) || c))
+      (Truth.eval aoi21.Stdcell.tt idx)
+  done
+
+let test_validate_catches () =
+  let bad = List.filter (fun c -> c.Stdcell.name <> "INV") lib in
+  check "missing inv detected" true (Stdcell.validate bad <> None);
+  let bad2 =
+    { (Stdcell.find lib "AND2") with Stdcell.area = -1.0 } :: lib
+  in
+  check "negative area detected" true (Stdcell.validate bad2 <> None)
+
+let cov n strs = Cover.make ~n (List.map Cube.of_string strs)
+
+let map_and_check ~mode cover_list ni =
+  let aig = Aig.of_covers ~ni cover_list in
+  let nl = Mapper.map ~mode ~lib aig in
+  for m = 0 to (1 lsl ni) - 1 do
+    let expected = Aig.eval_minterm aig m in
+    let got = Netlist.eval_minterm nl m in
+    if expected <> got then
+      Alcotest.failf "mapped netlist differs at minterm %d (mode %s)" m
+        (Mapper.mode_name mode)
+  done;
+  nl
+
+let test_map_simple_equiv () =
+  let c = cov 4 [ "11--"; "--11"; "1--0" ] in
+  List.iter
+    (fun mode -> ignore (map_and_check ~mode [ c ] 4))
+    [ Mapper.Delay; Mapper.Area; Mapper.Power ]
+
+let test_map_multi_output () =
+  let c0 = cov 3 [ "1-0"; "-11" ] in
+  let c1 = cov 3 [ "000" ] in
+  let c2 = Cover.empty ~n:3 in
+  let c3 = Cover.universe ~n:3 in
+  (* includes constant outputs *)
+  ignore (map_and_check ~mode:Mapper.Delay [ c0; c1; c2; c3 ] 3)
+
+let test_map_xor_uses_xor_cell () =
+  (* A bare XOR should map to an XOR2/XNOR2 cell rather than a pile of
+     NAND2s under area optimisation. *)
+  let aig = Aig.create ~ni:2 in
+  let f = Aig.lxor_ aig (Aig.input aig 0) (Aig.input aig 1) in
+  Aig.set_outputs aig [| f |];
+  let nl = Mapper.map ~mode:Mapper.Area ~lib aig in
+  let has_xor = ref false in
+  Netlist.iter_nodes nl (fun _ g _ ->
+      match g with
+      | Netlist.Gate.Cell c
+        when c.Netlist.Gate.cell_name = "XOR2"
+             || c.Netlist.Gate.cell_name = "XNOR2" ->
+          has_xor := true
+      | _ -> ());
+  check "xor cell used" true !has_xor;
+  for m = 0 to 3 do
+    check
+      (Printf.sprintf "xor m=%d" m)
+      (m = 1 || m = 2)
+      (Netlist.eval_minterm nl m).(0)
+  done
+
+let test_delay_mode_not_slower () =
+  (* Delay-optimised mapping should never have a longer critical path
+     than area-optimised mapping of the same function. *)
+  let c = cov 5 [ "11---"; "--111"; "1--0-"; "0-1-0"; "-01-1" ] in
+  let aig = Aig.of_covers ~ni:5 [ c ] in
+  let d = Report.of_netlist (Mapper.map ~mode:Mapper.Delay ~lib aig) in
+  let a = Report.of_netlist (Mapper.map ~mode:Mapper.Area ~lib aig) in
+  check "delay <= area-mode delay" true (d.Report.delay <= a.Report.delay +. 1e-9)
+
+let test_area_mode_not_bigger () =
+  let c = cov 5 [ "11---"; "--111"; "1--0-"; "0-1-0"; "-01-1" ] in
+  let aig = Aig.of_covers ~ni:5 [ c ] in
+  let d = Report.of_netlist (Mapper.map ~mode:Mapper.Delay ~lib aig) in
+  let a = Report.of_netlist (Mapper.map ~mode:Mapper.Area ~lib aig) in
+  check "area <= delay-mode area" true (a.Report.area <= d.Report.area +. 1e-9)
+
+let test_report_normalise () =
+  let base = { Report.area = 10.0; delay = 2.0; power = 5.0; gates = 7; depth = 3 } in
+  let r = { Report.area = 5.0; delay = 4.0; power = 5.0; gates = 9; depth = 4 } in
+  let n = Report.normalise ~base r in
+  Alcotest.(check (float 1e-9)) "area ratio" 0.5 n.Report.area;
+  Alcotest.(check (float 1e-9)) "delay ratio" 2.0 n.Report.delay;
+  Alcotest.(check (float 1e-9)) "power ratio" 1.0 n.Report.power
+
+let gen_cover n =
+  QCheck.Gen.(
+    let gen_cube =
+      list_repeat n (frequencyl [ (2, Cube.Zero); (2, Cube.One); (3, Cube.Free) ])
+      |> map (Cube.make ~n)
+    in
+    list_size (int_range 0 6) gen_cube |> map (fun cs -> Cover.make ~n cs))
+
+let arb_cover n =
+  QCheck.make ~print:(fun cv -> Format.asprintf "%a" Cover.pp cv) (gen_cover n)
+
+let prop_mapping_equiv mode name =
+  QCheck.Test.make ~name ~count:80
+    QCheck.(pair (arb_cover 5) (arb_cover 5))
+    (fun (c0, c1) ->
+      let aig = Aig.of_covers ~ni:5 [ c0; c1 ] in
+      let nl = Mapper.map ~mode ~lib aig in
+      let ok = ref true in
+      for m = 0 to 31 do
+        if Aig.eval_minterm aig m <> Netlist.eval_minterm nl m then ok := false
+      done;
+      !ok)
+
+let suite =
+  ( "techmap",
+    [
+      Alcotest.test_case "library valid" `Quick test_library_valid;
+      Alcotest.test_case "library truth tables" `Quick test_library_tts;
+      Alcotest.test_case "validate catches errors" `Quick test_validate_catches;
+      Alcotest.test_case "simple mapping equivalence" `Quick
+        test_map_simple_equiv;
+      Alcotest.test_case "multi-output with constants" `Quick
+        test_map_multi_output;
+      Alcotest.test_case "xor maps to xor cell" `Quick
+        test_map_xor_uses_xor_cell;
+      Alcotest.test_case "delay mode is fastest" `Quick
+        test_delay_mode_not_slower;
+      Alcotest.test_case "area mode is smallest" `Quick
+        test_area_mode_not_bigger;
+      Alcotest.test_case "report normalise" `Quick test_report_normalise;
+      QCheck_alcotest.to_alcotest
+        (prop_mapping_equiv Mapper.Delay "delay mapping preserves function");
+      QCheck_alcotest.to_alcotest
+        (prop_mapping_equiv Mapper.Area "area mapping preserves function");
+      QCheck_alcotest.to_alcotest
+        (prop_mapping_equiv Mapper.Power "power mapping preserves function");
+    ] )
+
+(* K-LUT mapping (the "renode" path). *)
+
+module Lutmap = Techmap.Lutmap
+
+let test_lutmap_equivalence () =
+  let c0 = cov 5 [ "11---"; "--111"; "1--0-"; "0-1-0" ] in
+  let c1 = cov 5 [ "00---"; "---11" ] in
+  let aig = Aig.of_covers ~ni:5 [ c0; c1 ] in
+  List.iter
+    (fun k ->
+      let nl = Lutmap.map ~k aig in
+      for m = 0 to 31 do
+        if Aig.eval_minterm aig m <> Netlist.eval_minterm nl m then
+          Alcotest.failf "lutmap k=%d differs at %d" k m
+      done)
+    [ 2; 3; 4 ]
+
+let test_lutmap_coarsens () =
+  (* 4-LUT covering needs at most as many nodes as 2-LUT covering. *)
+  let c = cov 6 [ "11----"; "--11--"; "----11"; "1--0-1" ] in
+  let aig = Aig.of_covers ~ni:6 [ c ] in
+  let n2 = Lutmap.lut_count (Lutmap.map ~k:2 aig) in
+  let n4 = Lutmap.lut_count (Lutmap.map ~k:4 aig) in
+  check "4-LUTs coarser" true (n4 <= n2);
+  check "some luts" true (n4 > 0)
+
+let test_lutmap_renode_dc_spaces () =
+  (* Coarser nodes expose satisfiability DCs for Decompose: use the
+     deterministic bench stand-in (correlated multi-output logic). *)
+  let spec = Synthetic.Suite.load_by_name "bench" in
+  let _, covers = Rdca_flow.Flow.implement (Pla.Spec.copy spec) in
+  let aig = Aig.Opt.balance (Aig.of_covers ~ni:6 covers) in
+  let nl = Lutmap.map ~k:4 aig in
+  let masks = Rdca_core.Decompose.local_patterns nl in
+  let with_dc = ref 0 in
+  Netlist.iter_nodes nl (fun id g _ ->
+      match g with
+      | Netlist.Gate.Cell cell when cell.Netlist.Gate.arity >= 2 ->
+          let full = (1 lsl (1 lsl cell.Netlist.Gate.arity)) - 1 in
+          if masks.(id) <> full && masks.(id) <> 0 then incr with_dc
+      | _ -> ());
+  check "at least one LUT has local DCs" true (!with_dc >= 1);
+  (* reassignment must keep I/O *)
+  let nl' = Rdca_core.Decompose.reassign ~threshold:0.65 nl in
+  for m = 0 to 63 do
+    check
+      (Printf.sprintf "io m=%d" m)
+      true
+      (Netlist.eval_minterm nl m = Netlist.eval_minterm nl' m)
+  done
+
+let prop_lutmap_equiv =
+  QCheck.Test.make ~name:"lutmap preserves function (k=4)" ~count:80
+    QCheck.(pair (arb_cover 5) (arb_cover 5))
+    (fun (c0, c1) ->
+      let aig = Aig.of_covers ~ni:5 [ c0; c1 ] in
+      let nl = Lutmap.map ~k:4 aig in
+      let ok = ref true in
+      for m = 0 to 31 do
+        if Aig.eval_minterm aig m <> Netlist.eval_minterm nl m then ok := false
+      done;
+      !ok)
+
+let lut_cases =
+  [
+    Alcotest.test_case "lutmap equivalence" `Quick test_lutmap_equivalence;
+    Alcotest.test_case "lutmap coarsens" `Quick test_lutmap_coarsens;
+    Alcotest.test_case "lutmap renode exposes DCs" `Quick
+      test_lutmap_renode_dc_spaces;
+    QCheck_alcotest.to_alcotest prop_lutmap_equiv;
+  ]
+
+let suite = (fst suite, snd suite @ lut_cases)
