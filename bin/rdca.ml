@@ -4,20 +4,23 @@
      stats      function statistics (Table-1 style) + reliability bounds
      assign     apply a DC assignment strategy to a .pla, write .pla
      synth      full flow: assignment, espresso, AIG, techmap; print report
+     faultsim   gate-level fault-injection campaign vs input-error rates
      gen        generate a synthetic benchmark (.pla)
      estimate   analytical min-max reliability estimates vs exact bounds
      suite      list the built-in Table 1 benchmark suite *)
 
 open Cmdliner
+module Flow = Rdca_flow.Flow
 
-let read_spec path_or_name =
-  if Sys.file_exists path_or_name && not (Sys.is_directory path_or_name) then
-    (Pla.parse_file path_or_name).Pla.spec
-  else
-    match Synthetic.Suite.find path_or_name with
-    | entry -> Synthetic.Suite.load entry
-    | exception Not_found ->
-        Fmt.failwith "%s: not a file nor a suite benchmark name" path_or_name
+(* Resolve SPEC and run [f], turning every structured failure into a
+   one-line stderr message and exit code 1 — no backtraces on bad
+   input. *)
+let with_spec input f =
+  match Flow.load_spec input with
+  | Ok spec -> f spec
+  | Error e ->
+      Fmt.epr "rdca: %s@." (Flow.error_to_string e);
+      1
 
 let input_arg =
   let doc =
@@ -39,7 +42,7 @@ let emit_spec out spec =
 
 let stats_cmd =
   let run input =
-    let spec = read_spec input in
+    with_spec input @@ fun spec ->
     let module B = Reliability.Borders in
     let module ER = Reliability.Error_rate in
     Fmt.pr "inputs:   %d@." (Pla.Spec.ni spec);
@@ -90,11 +93,9 @@ let strategy_args =
 
 let assign_cmd =
   let run input out strategy finish =
-    let spec = read_spec input in
-    let partial = Rdca_flow.Flow.apply_strategy strategy spec in
-    let result =
-      if finish then fst (Rdca_flow.Flow.implement partial) else partial
-    in
+    with_spec input @@ fun spec ->
+    let partial = Flow.apply_strategy strategy spec in
+    let result = if finish then fst (Flow.implement partial) else partial in
     emit_spec out result;
     0
   in
@@ -119,47 +120,69 @@ let mode_arg =
         Techmap.Mapper.Delay
     & info [ "mode" ] ~docv:"MODE" ~doc)
 
+let cube_budget_arg =
+  let doc =
+    "Espresso cube budget: outputs whose raw cover exceeds $(docv) cubes \
+     keep the unminimized cover (graceful degradation)."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "cube-budget" ] ~docv:"N" ~doc)
+
+let espresso_seconds_arg =
+  let doc =
+    "Espresso wall-clock budget in seconds; outputs reached after it keep \
+     the unminimized cover."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "espresso-seconds" ] ~docv:"SECS" ~doc)
+
+let report_degradations r =
+  List.iter
+    (fun d -> Fmt.pr "degraded:        %s@." (Flow.degradation_to_string d))
+    r.Flow.degradations
+
 let synth_cmd =
-  let run input strategy mode verify factored shared blif_out verilog_out =
-    let spec = read_spec input in
-    let r =
-      if shared then Rdca_flow.Flow.synthesize_shared ~mode ~strategy spec
-      else if verify then
-        Rdca_flow.Flow.verified_synthesize ~factored ~mode ~strategy spec
-      else Rdca_flow.Flow.synthesize ~factored ~mode ~strategy spec
+  let run input strategy mode verify factored shared blif_out verilog_out
+      max_cubes max_seconds =
+    with_spec input @@ fun spec ->
+    let budget = { Flow.max_cubes; max_seconds } in
+    let result =
+      try
+        Ok
+          (if shared then Flow.synthesize_shared ~mode ~strategy spec
+           else if verify then
+             Flow.verified_synthesize ~factored ~budget ~mode ~strategy spec
+           else Flow.synthesize ~factored ~budget ~mode ~strategy spec)
+      with
+      | Invalid_argument msg | Failure msg ->
+          Error (Flow.Synthesis_failure msg)
     in
-    Fmt.pr "strategy:        %s@." (Rdca_flow.Flow.strategy_name strategy);
-    Fmt.pr "mode:            %s%s%s@."
-      (Techmap.Mapper.mode_name mode)
-      (if factored then " +factored" else "")
-      (if shared then " +shared" else "");
-    Fmt.pr "assigned DCs:    %.1f%%@." (100.0 *. r.Rdca_flow.Flow.assigned_fraction);
-    Fmt.pr "SOP cubes:       %d@." r.Rdca_flow.Flow.sop_cubes;
-    Fmt.pr "error rate:      %.4f@." r.Rdca_flow.Flow.error_rate;
-    Fmt.pr "report:          %a@." Techmap.Report.pp r.Rdca_flow.Flow.report;
-    (match (blif_out, verilog_out) with
-    | None, None -> ()
-    | _ ->
-        (* re-run the build to obtain the netlist for export *)
-        let partial = Rdca_flow.Flow.apply_strategy strategy spec in
-        let full, covers = Rdca_flow.Flow.implement partial in
-        ignore full;
-        let ni = Pla.Spec.ni spec in
-        let aig =
-          if factored then
-            Aig.of_factored ~ni (List.map Twolevel.Factor.factor covers)
-          else Aig.of_covers ~ni covers
-        in
-        let nl =
-          Techmap.Mapper.map ~mode
-            ~lib:(Techmap.Stdcell.default_library ())
-            (Aig.Opt.balance aig)
-        in
-        Option.iter (fun p -> Netlist_io.Blif.write_netlist p nl) blif_out;
+    match result with
+    | Error e ->
+        Fmt.epr "rdca: %s@." (Flow.error_to_string e);
+        1
+    | Ok r ->
+        Fmt.pr "strategy:        %s@." (Flow.strategy_name strategy);
+        Fmt.pr "mode:            %s%s%s@."
+          (Techmap.Mapper.mode_name mode)
+          (if factored then " +factored" else "")
+          (if shared then " +shared" else "");
+        Fmt.pr "assigned DCs:    %.1f%%@." (100.0 *. r.Flow.assigned_fraction);
+        Fmt.pr "SOP cubes:       %d@." r.Flow.sop_cubes;
+        Fmt.pr "error rate:      %.4f@." r.Flow.error_rate;
+        Fmt.pr "report:          %a@." Techmap.Report.pp r.Flow.report;
+        report_degradations r;
+        (* The mapped netlist rides along in the result record; export
+           is a plain write, not a rebuild. *)
         Option.iter
-          (fun p -> Netlist_io.Verilog.write_netlist p nl)
-          verilog_out);
-    0
+          (fun p -> Netlist_io.Blif.write_netlist p r.Flow.netlist)
+          blif_out;
+        Option.iter
+          (fun p -> Netlist_io.Verilog.write_netlist p r.Flow.netlist)
+          verilog_out;
+        0
   in
   let verify =
     let doc = "Exhaustively verify the mapped netlist against the spec." in
@@ -185,7 +208,119 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const run $ input_arg $ strategy_args $ mode_arg $ verify $ factored
-      $ shared $ blif_out $ verilog_out)
+      $ shared $ blif_out $ verilog_out $ cube_budget_arg
+      $ espresso_seconds_arg)
+
+let faultsim_cmd =
+  let module Campaign = Reliability.Campaign in
+  let module Fault_sim = Reliability.Fault_sim in
+  let run input strategy mode seed trials max_sites time_budget confidence
+      max_cubes max_seconds no_baseline =
+    with_spec input @@ fun spec ->
+    let bad_arg =
+      if trials <= 0 then Some "--trials must be positive"
+      else if not (confidence > 0.0 && confidence < 1.0) then
+        Some "--confidence must be strictly between 0 and 1"
+      else
+        match max_sites with
+        | Some n when n <= 0 -> Some "--max-sites must be positive"
+        | _ -> None
+    in
+    match bad_arg with
+    | Some msg ->
+        Fmt.epr "rdca: %s@." msg;
+        1
+    | None ->
+    let budget = { Flow.max_cubes; max_seconds } in
+    let strategies =
+      if no_baseline || strategy = Flow.Conventional then [ strategy ]
+      else [ Flow.Conventional; strategy ]
+    in
+    Fmt.pr "benchmark:       %s  (%d in, %d out, %.1f%% DC)@." input
+      (Pla.Spec.ni spec) (Pla.Spec.no spec)
+      (100.0 *. Pla.Spec.dc_fraction spec);
+    Fmt.pr "campaign:        seed %d, %d trials/site, %.0f%% confidence%s%s@."
+      seed trials (100.0 *. confidence)
+      (match max_sites with
+      | None -> ""
+      | Some n -> Printf.sprintf ", <= %d sites" n)
+      (match time_budget with
+      | None -> ""
+      | Some s -> Printf.sprintf ", %.2fs budget" s);
+    let failed = ref false in
+    List.iter
+      (fun strategy ->
+        Fmt.pr "@.=== strategy: %s ===@." (Flow.strategy_name strategy);
+        match Flow.synthesize_result ~budget ~mode ~strategy spec with
+        | Error e ->
+            failed := true;
+            Fmt.epr "rdca: %s@." (Flow.error_to_string e)
+        | Ok r -> (
+            report_degradations r;
+            let nl = r.Flow.netlist in
+            Fmt.pr "gates:           %d  (area %.0f, delay %.3f)@."
+              (Netlist.gate_count nl) (Netlist.area nl) (Netlist.delay nl);
+            let rng = Random.State.make [| seed |] in
+            let mc = Fault_sim.run ~rng ~trials spec nl in
+            Fmt.pr "input-error:     exact %.4f   monte-carlo %.4f@."
+              r.Flow.error_rate mc.Fault_sim.rate;
+            let config =
+              {
+                Campaign.default_config with
+                Campaign.seed;
+                trials_per_site = trials;
+                confidence;
+                max_sites;
+                time_budget;
+              }
+            in
+            match Campaign.run config spec nl with
+            | report -> Fmt.pr "%a@." Campaign.pp_report report
+            | exception Invalid_argument msg ->
+                failed := true;
+                Fmt.epr "rdca: %s@." msg))
+      strategies;
+    if !failed then 1 else 0
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
+  in
+  let trials =
+    let doc = "Monte-Carlo trials per fault site (and per kind)." in
+    Arg.(value & opt int 1000 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let max_sites =
+    let doc = "Evaluate at most $(docv) fault sites (seeded subsample)." in
+    Arg.(value & opt (some int) None & info [ "max-sites" ] ~docv:"N" ~doc)
+  in
+  let time_budget =
+    let doc =
+      "Wall-clock budget for the campaign in seconds; exceeding it yields a \
+       partial report instead of an error."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECS" ~doc)
+  in
+  let confidence =
+    let doc = "Confidence level for the Wilson intervals." in
+    Arg.(value & opt float 0.95 & info [ "confidence" ] ~docv:"C" ~doc)
+  in
+  let no_baseline =
+    let doc = "Skip the conventional-strategy baseline comparison." in
+    Arg.(value & flag & info [ "no-baseline" ] ~doc)
+  in
+  let doc =
+    "Gate-level fault-injection campaign: stuck-at-0/1 and transient faults \
+     at every internal node, compared against the paper's input-error rate, \
+     per assignment strategy"
+  in
+  Cmd.v (Cmd.info "faultsim" ~doc)
+    Term.(
+      const run $ input_arg $ strategy_args $ mode_arg $ seed $ trials
+      $ max_sites $ time_budget $ confidence $ cube_budget_arg
+      $ espresso_seconds_arg $ no_baseline)
 
 let gen_cmd =
   let run ni no dc cf seed out =
@@ -217,7 +352,7 @@ let gen_cmd =
 
 let estimate_cmd =
   let run input =
-    let spec = read_spec input in
+    with_spec input @@ fun spec ->
     let module ER = Reliability.Error_rate in
     let module Est = Reliability.Estimate in
     let b = ER.mean_bounds spec in
@@ -248,6 +383,9 @@ let main =
   let doc = "Reliability-driven don't care assignment for logic synthesis" in
   let info = Cmd.info "rdca" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ stats_cmd; assign_cmd; synth_cmd; gen_cmd; estimate_cmd; suite_cmd ]
+    [
+      stats_cmd; assign_cmd; synth_cmd; faultsim_cmd; gen_cmd; estimate_cmd;
+      suite_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -14,12 +14,63 @@ let strategy_name = function
   | Lcf t -> Printf.sprintf "lcf(%.2f)" t
   | Complete -> "complete"
 
+type budget = { max_cubes : int option; max_seconds : float option }
+
+let no_budget = { max_cubes = None; max_seconds = None }
+
+type degradation = Espresso_skipped of { output : int; cubes : int }
+
+let degradation_to_string = function
+  | Espresso_skipped { output; cubes } ->
+      Printf.sprintf
+        "output %d: espresso skipped (budget exceeded), unminimized cover of \
+         %d cubes used"
+        output cubes
+
 type result = {
   error_rate : float;
   report : Techmap.Report.t;
   sop_cubes : int;
   assigned_fraction : float;
+  netlist : Netlist.t;
+  degradations : degradation list;
 }
+
+type error =
+  | Io_error of { path : string; message : string }
+  | Parse_error of { path : string; message : string }
+  | Unknown_benchmark of { name : string; suggestions : string list }
+  | Synthesis_failure of string
+
+let error_to_string = function
+  | Io_error { path; message } -> Printf.sprintf "%s: %s" path message
+  | Parse_error { path; message } ->
+      Printf.sprintf "%s: parse error: %s" path message
+  | Unknown_benchmark { name; suggestions } ->
+      let hint =
+        match suggestions with
+        | [] -> ""
+        | s -> Printf.sprintf " (did you mean %s?)" (String.concat ", " s)
+      in
+      Printf.sprintf "%s: not a file nor a suite benchmark name%s" name hint
+  | Synthesis_failure message -> Printf.sprintf "synthesis failed: %s" message
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let load_spec name =
+  if Sys.file_exists name && not (Sys.is_directory name) then
+    match Pla.parse_file_res name with
+    | Ok pla -> Ok pla.Pla.spec
+    | Error message -> Error (Parse_error { path = name; message })
+  else if String.contains name '/' || Filename.check_suffix name ".pla" then
+    Error (Io_error { path = name; message = "no such file" })
+  else
+    match Synthetic.Suite.find_opt name with
+    | Some entry -> Ok (Synthetic.Suite.load entry)
+    | None ->
+        Error
+          (Unknown_benchmark
+             { name; suggestions = Synthetic.Suite.suggestions name })
 
 let apply_strategy strategy spec =
   match strategy with
@@ -29,6 +80,46 @@ let apply_strategy strategy spec =
   | Complete -> Assign.complete spec
 
 let implement spec = Assign.conventional spec
+
+(* [implement] under a cube/time budget: an output whose raw on-cover
+   already exceeds [max_cubes], or that comes up after [max_seconds]
+   of minimisation time has been spent, keeps its unminimized
+   minterm-level on-cover (every DC assigned off) and the degradation
+   is reported instead of raised. *)
+let implement_budgeted ~budget spec =
+  let out = Spec.copy spec in
+  let ni = Spec.ni spec in
+  let t0 = Unix.gettimeofday () in
+  let degradations = ref [] in
+  let covers =
+    List.init (Spec.no spec) (fun o ->
+        let raw = Spec.on_cover spec ~o in
+        let over_cubes =
+          match budget.max_cubes with
+          | Some c -> Twolevel.Cover.size raw > c
+          | None -> false
+        in
+        let over_time =
+          match budget.max_seconds with
+          | Some s -> Unix.gettimeofday () -. t0 > s
+          | None -> false
+        in
+        let cover =
+          if over_cubes || over_time then begin
+            degradations :=
+              Espresso_skipped { output = o; cubes = Twolevel.Cover.size raw }
+              :: !degradations;
+            raw
+          end
+          else
+            let on = Spec.on_bv spec ~o and dc = Spec.dc_bv spec ~o in
+            Espresso.Dense.minimize ~n:ni ~on ~dc
+        in
+        Spec.iter_dc spec ~o (fun m ->
+            Spec.assign_dc out ~o ~m (Twolevel.Cover.eval cover m));
+        cover)
+  in
+  (out, covers, List.rev !degradations)
 
 let measured_error ~original assigned =
   let no = Spec.no original in
@@ -52,12 +143,13 @@ let build ?lib ?(factored = false) ~mode spec_assigned covers =
   let aig = Aig.Opt.balance aig in
   Techmap.Mapper.map ~mode ~lib aig
 
-let synthesize_common ?lib ?factored ~mode ~strategy ~verify spec =
+let synthesize_common ?lib ?factored ?(budget = no_budget) ~mode ~strategy
+    ~verify spec =
   let partial = apply_strategy strategy spec in
   let assigned_fraction =
     Assign.assigned_dc_fraction ~before:spec ~after:partial
   in
-  let full, covers = implement partial in
+  let full, covers, degradations = implement_budgeted ~budget partial in
   let error_rate = measured_error ~original:spec full in
   let nl = build ?lib ?factored ~mode full covers in
   if verify then begin
@@ -77,13 +169,19 @@ let synthesize_common ?lib ?factored ~mode ~strategy ~verify spec =
   let sop_cubes =
     List.fold_left (fun acc c -> acc + Twolevel.Cover.size c) 0 covers
   in
-  { error_rate; report; sop_cubes; assigned_fraction }
+  { error_rate; report; sop_cubes; assigned_fraction; netlist = nl; degradations }
 
-let synthesize ?lib ?factored ~mode ~strategy spec =
-  synthesize_common ?lib ?factored ~mode ~strategy ~verify:false spec
+let synthesize ?lib ?factored ?budget ~mode ~strategy spec =
+  synthesize_common ?lib ?factored ?budget ~mode ~strategy ~verify:false spec
 
-let verified_synthesize ?lib ?factored ~mode ~strategy spec =
-  synthesize_common ?lib ?factored ~mode ~strategy ~verify:true spec
+let verified_synthesize ?lib ?factored ?budget ~mode ~strategy spec =
+  synthesize_common ?lib ?factored ?budget ~mode ~strategy ~verify:true spec
+
+let synthesize_result ?lib ?factored ?budget ~mode ~strategy spec =
+  match synthesize ?lib ?factored ?budget ~mode ~strategy spec with
+  | r -> Ok r
+  | exception Invalid_argument msg -> Error (Synthesis_failure msg)
+  | exception Failure msg -> Error (Synthesis_failure msg)
 
 let implement_shared spec =
   let ni = Spec.ni spec and no = Spec.no spec in
@@ -166,4 +264,6 @@ let synthesize_shared ?lib ~mode ~strategy spec =
     report;
     sop_cubes = List.length mcubes;
     assigned_fraction;
+    netlist = nl;
+    degradations = [];
   }

@@ -17,6 +17,27 @@ type strategy =
 
 val strategy_name : strategy -> string
 
+(** {1 Graceful degradation}
+
+    Espresso on a pathological benchmark can dominate the whole flow;
+    a budget caps it.  When exceeded, the flow falls back to the
+    unminimized minterm-level cover for the remaining outputs instead
+    of dying — and says so in the result record. *)
+
+(** Per-run espresso budget.  [max_cubes] skips minimisation for any
+    output whose raw on-cover already exceeds the bound; [max_seconds]
+    is a wall-clock cap on total minimisation time (outputs starting
+    after it fall back).  [None] means unlimited. *)
+type budget = { max_cubes : int option; max_seconds : float option }
+
+(** [no_budget] — both caps disabled; the default. *)
+val no_budget : budget
+
+(** A quality degradation the flow accepted instead of failing. *)
+type degradation = Espresso_skipped of { output : int; cubes : int }
+
+val degradation_to_string : degradation -> string
+
 (** Result of one synthesis run. *)
 type result = {
   error_rate : float;
@@ -27,7 +48,36 @@ type result = {
   assigned_fraction : float;
       (** fraction of the DC space the strategy assigned before
           conventional synthesis *)
+  netlist : Netlist.t;
+      (** the mapped netlist itself — for export and for gate-level
+          fault-injection campaigns *)
+  degradations : degradation list;
+      (** empty when the run was full-quality; see {!budget} *)
 }
+
+(** {1 Structured errors}
+
+    Library-level failure paths (file I/O, .pla parsing, suite lookup,
+    synthesis itself) surface as values of this type through
+    {!load_spec} and {!synthesize_result}, so drivers can report
+    cleanly instead of crashing with a backtrace. *)
+
+type error =
+  | Io_error of { path : string; message : string }
+  | Parse_error of { path : string; message : string }
+  | Unknown_benchmark of { name : string; suggestions : string list }
+      (** [suggestions] — near-miss suite names for diagnostics *)
+  | Synthesis_failure of string
+
+val error_to_string : error -> string
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [load_spec name] resolves [name] the way the CLI does: an existing
+    file parses as .pla; otherwise, a name that does not look like a
+    path is looked up in the built-in benchmark suite.  All failures
+    are structured [Error]s — this function does not raise. *)
+val load_spec : string -> (Pla.Spec.t, error) Stdlib.result
 
 (** [apply_strategy strategy spec] is the partially assigned spec. *)
 val apply_strategy : strategy -> Pla.Spec.t -> Pla.Spec.t
@@ -40,13 +90,16 @@ val implement : Pla.Spec.t -> Pla.Spec.t * Twolevel.Cover.t list
     error rate of a fully specified [assigned] against [original]. *)
 val measured_error : original:Pla.Spec.t -> Pla.Spec.t -> float
 
-(** [synthesize ?lib ?factored ~mode ~strategy spec] runs the full
-    pipeline.  [lib] defaults to {!Techmap.Stdcell.default_library};
-    [factored] (default false) algebraically factors each minimised
-    cover ({!Twolevel.Factor}) before AIG construction. *)
+(** [synthesize ?lib ?factored ?budget ~mode ~strategy spec] runs the
+    full pipeline.  [lib] defaults to
+    {!Techmap.Stdcell.default_library}; [factored] (default false)
+    algebraically factors each minimised cover ({!Twolevel.Factor})
+    before AIG construction; [budget] (default {!no_budget}) caps
+    espresso with unminimized-cover fallback. *)
 val synthesize :
   ?lib:Techmap.Stdcell.t list ->
   ?factored:bool ->
+  ?budget:budget ->
   mode:Techmap.Mapper.mode ->
   strategy:strategy ->
   Pla.Spec.t ->
@@ -58,10 +111,23 @@ val synthesize :
 val verified_synthesize :
   ?lib:Techmap.Stdcell.t list ->
   ?factored:bool ->
+  ?budget:budget ->
   mode:Techmap.Mapper.mode ->
   strategy:strategy ->
   Pla.Spec.t ->
   result
+
+(** [synthesize_result] is {!synthesize} with library-level exceptions
+    ([Invalid_argument], [Failure]) mapped to
+    [Error (Synthesis_failure _)]. *)
+val synthesize_result :
+  ?lib:Techmap.Stdcell.t list ->
+  ?factored:bool ->
+  ?budget:budget ->
+  mode:Techmap.Mapper.mode ->
+  strategy:strategy ->
+  Pla.Spec.t ->
+  (result, error) Stdlib.result
 
 (** {1 Multi-output (shared-cube) variant}
 

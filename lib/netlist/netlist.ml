@@ -91,8 +91,28 @@ let eval t inputs =
 let eval_minterm t m =
   eval t (Array.init t.ni (fun i -> m land (1 lsl i) <> 0))
 
-(* Word-parallel simulation over all 2^ni patterns, 63 at a time. *)
-let simulate_all t visit =
+let eval_with_override t ~override inputs =
+  if Array.length inputs <> t.ni then
+    invalid_arg "Netlist.eval_with_override: input count";
+  let values = Array.make t.next false in
+  for i = 0 to t.ni - 1 do
+    values.(i) <- override i inputs.(i)
+  done;
+  for id = t.ni to t.next - 1 do
+    let n = t.nodes.(id) in
+    values.(id) <-
+      override id (Gate.eval n.gate (Array.map (Array.get values) n.fanins))
+  done;
+  Array.map (Array.get values) t.outputs
+
+let eval_minterm_with_override t ~override m =
+  eval_with_override t ~override
+    (Array.init t.ni (fun i -> m land (1 lsl i) <> 0))
+
+(* Word-parallel simulation over all 2^ni patterns, 63 at a time.
+   [override id word] transforms each node's word after evaluation
+   (identity by default) — the gate-fault-injection hook. *)
+let simulate_all ?(override = fun _ w -> w) t visit =
   if t.ni > 20 then invalid_arg "Netlist: ni too large for exhaustive sim";
   let total = 1 lsl t.ni in
   let words = Array.make t.next 0 in
@@ -105,20 +125,24 @@ let simulate_all t visit =
       for p = 0 to chunk - 1 do
         if (!base + p) land (1 lsl i) <> 0 then w := !w lor (1 lsl p)
       done;
-      words.(i) <- !w
+      words.(i) <- override i !w
     done;
     for id = t.ni to t.next - 1 do
       let n = t.nodes.(id) in
-      words.(id) <- Gate.eval_words n.gate (Array.map (Array.get words) n.fanins)
+      words.(id) <-
+        override id
+          (Gate.eval_words n.gate (Array.map (Array.get words) n.fanins))
     done;
     visit ~base:!base ~chunk words;
     base := !base + chunk
   done
 
-let output_tables t =
+let output_tables_gen ?override t =
   let total = 1 lsl t.ni in
-  let tables = Array.init (Array.length t.outputs) (fun _ -> Bitvec.Bv.create total) in
-  simulate_all t (fun ~base ~chunk words ->
+  let tables =
+    Array.init (Array.length t.outputs) (fun _ -> Bitvec.Bv.create total)
+  in
+  simulate_all ?override t (fun ~base ~chunk words ->
       Array.iteri
         (fun o out_id ->
           let w = words.(out_id) in
@@ -127,6 +151,10 @@ let output_tables t =
           done)
         t.outputs);
   tables
+
+let output_tables_with_override t ~override = output_tables_gen ~override t
+
+let output_tables t = output_tables_gen t
 
 let signal_probs t =
   let total = 1 lsl t.ni in

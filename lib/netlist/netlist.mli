@@ -48,10 +48,32 @@ val eval : t -> bool array -> bool array
     inputs (bit [i] = input [i]). *)
 val eval_minterm : t -> int -> bool array
 
+(** [eval_with_override t ~override inputs] is {!eval} except that
+    every node's value — primary inputs included — is passed through
+    [override id value] before being stored, so downstream nodes see
+    the overridden value.  The identity function reproduces {!eval};
+    forcing or flipping one node's value injects a gate-level fault
+    (see [Reliability.Inject]). *)
+val eval_with_override :
+  t -> override:(int -> bool -> bool) -> bool array -> bool array
+
+(** [eval_minterm_with_override t ~override m] is
+    {!eval_with_override} on the minterm encoding of the inputs. *)
+val eval_minterm_with_override :
+  t -> override:(int -> bool -> bool) -> int -> bool array
+
 (** [output_tables t] simulates all [2^ni] patterns word-parallel and
     returns one characteristic bit-vector per output.
     @raise Invalid_argument when [ni > 20]. *)
 val output_tables : t -> Bitvec.Bv.t array
+
+(** [output_tables_with_override t ~override] is {!output_tables} with
+    [override id word] applied to each node's simulation word (63
+    patterns per bit) — the word-parallel form of
+    {!eval_with_override}.  Only the low bits covering the current
+    chunk are read back, so overrides may set garbage above them. *)
+val output_tables_with_override :
+  t -> override:(int -> int -> int) -> Bitvec.Bv.t array
 
 (** [signal_probs t] is the exact probability of each *node* being 1
     under uniform random inputs (exhaustive; [ni <= 20]). *)

@@ -51,6 +51,17 @@ let pla_type_of_string = function
   | "fdr" -> Fdr
   | s -> fail "unknown .type %S" s
 
+(* A header directive that takes exactly one integer argument; a
+   truncated or non-numeric form is a structured parse error, never an
+   escaping [Failure]. *)
+let int_directive d = function
+  | [ v ] -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> fail "%s: not an integer: %S" d v)
+  | [] -> fail "%s: missing argument" d
+  | _ -> fail "%s: expected exactly one argument" d
+
 let parse_string text =
   let lines = String.split_on_char '\n' text in
   let ni = ref (-1) and no = ref (-1) in
@@ -63,19 +74,21 @@ let parse_string text =
       if not !ended then
         match classify_line raw with
         | Blank -> ()
-        | Directive (".i", [ v ]) -> ni := int_of_string v
-        | Directive (".o", [ v ]) -> no := int_of_string v
+        | Directive (".i", args) -> ni := int_directive ".i" args
+        | Directive (".o", args) -> no := int_directive ".o" args
         | Directive (".p", _) -> () (* informational *)
         | Directive (".ilb", names) -> ilb := Some (Array.of_list names)
         | Directive (".ob", names) -> ob := Some (Array.of_list names)
         | Directive (".type", [ v ]) -> ty := pla_type_of_string v
+        | Directive (".type", _) -> fail ".type: expected exactly one argument"
         | Directive ((".e" | ".end"), _) -> ended := true
         | Directive (d, _) -> fail "unsupported directive %S" d
         | Term (ins, outs) -> terms := (ins, outs) :: !terms)
     lines;
-  if !ni < 0 then fail "missing .i";
-  if !no < 0 then fail "missing .o";
+  if !ni < 0 then fail "missing or negative .i";
+  if !no < 0 then fail "missing or negative .o";
   let ni = !ni and no = !no in
+  if no = 0 then fail ".o 0: at least one output required";
   if ni > 20 then fail ".i %d exceeds dense representation limit (20)" ni;
   let default = match !ty with Fr -> Spec.Dc | F | Fd | Fdr -> Spec.Off in
   let spec = Spec.create ~ni ~no ~default in
@@ -116,6 +129,17 @@ let parse_file path =
   let text = really_input_string ic len in
   close_in ic;
   parse_string text
+
+let parse_string_res text =
+  match parse_string text with
+  | t -> Ok t
+  | exception Parse_error msg -> Error msg
+
+let parse_file_res path =
+  match parse_file path with
+  | t -> Ok t
+  | exception Parse_error msg -> Error msg
+  | exception Sys_error msg -> Error msg
 
 let type_to_string = function F -> "f" | Fd -> "fd" | Fr -> "fr" | Fdr -> "fdr"
 

@@ -31,8 +31,15 @@ exception Parse_error of string
 (** [parse_string s] parses .pla text. @raise Parse_error on bad input. *)
 val parse_string : string -> t
 
-(** [parse_file path] reads and parses a file. *)
+(** [parse_file path] reads and parses a file.
+    @raise Parse_error on bad input, [Sys_error] on I/O failure. *)
 val parse_file : string -> t
+
+(** Exception-free variants: [Error msg] instead of {!Parse_error} /
+    [Sys_error].  The entry points hardened flows should use. *)
+val parse_string_res : string -> (t, string) result
+
+val parse_file_res : string -> (t, string) result
 
 (** [to_string ?ty t] renders a spec; by default type [fdr], writing
     one product line per care/DC minterm group using per-output covers

@@ -1,0 +1,195 @@
+module Spec = Pla.Spec
+
+type config = {
+  seed : int;
+  trials_per_site : int;
+  confidence : float;
+  kinds : Inject.kind list;
+  max_sites : int option;
+  time_budget : float option;
+}
+
+let default_config =
+  {
+    seed = 42;
+    trials_per_site = 1000;
+    confidence = 0.95;
+    kinds = Inject.all_kinds;
+    max_sites = None;
+    time_budget = None;
+  }
+
+type site_result = {
+  site : int;
+  gate : string;
+  kind : Inject.kind;
+  trials : int;
+  events : int;
+  propagated : int;
+  rate : float;
+  ci : float * float;
+}
+
+type report = {
+  config : config;
+  results : site_result list;
+  sites_total : int;
+  sites_done : int;
+  complete : bool;
+  elapsed : float;
+}
+
+type pooled = {
+  p_kind : Inject.kind;
+  p_sites : int;
+  p_events : int;
+  p_propagated : int;
+  p_rate : float;
+  p_ci : float * float;
+  p_worst : site_result option;
+}
+
+let kind_tag = function
+  | Inject.Stuck_at_0 -> 0
+  | Inject.Stuck_at_1 -> 1
+  | Inject.Transient -> 2
+
+(* Deterministic subsample: partial Fisher-Yates driven by the master
+   seed, result re-sorted into topological order. *)
+let select_sites ~seed ~max_sites sites =
+  match max_sites with
+  | None -> sites
+  | Some k when k >= List.length sites -> sites
+  | Some k ->
+      if k <= 0 then invalid_arg "Campaign: max_sites must be positive";
+      let arr = Array.of_list sites in
+      let rng = Random.State.make [| seed; 0x5174 |] in
+      let n = Array.length arr in
+      for i = 0 to k - 1 do
+        let j = i + Random.State.int rng (n - i) in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp
+      done;
+      List.sort compare (Array.to_list (Array.sub arr 0 k))
+
+let run ?(checkpoint = fun _ -> ()) config spec nl =
+  if Netlist.ni nl <> Spec.ni spec then
+    invalid_arg "Campaign.run: input count mismatch";
+  if config.trials_per_site <= 0 then
+    invalid_arg "Campaign.run: trials_per_site must be positive";
+  if config.kinds = [] then invalid_arg "Campaign.run: no fault kinds";
+  let sites =
+    select_sites ~seed:config.seed ~max_sites:config.max_sites
+      (Inject.sites nl)
+  in
+  let sites_total = List.length sites in
+  let t0 = Unix.gettimeofday () in
+  let results = ref [] in
+  let sites_done = ref 0 in
+  let complete = ref true in
+  let report () =
+    {
+      config;
+      results = List.rev !results;
+      sites_total;
+      sites_done = !sites_done;
+      complete = !complete;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  (try
+     List.iter
+       (fun site ->
+         (* Budget check between sites: the first site always runs, so
+            an undersized budget still yields a valid partial report. *)
+         (match config.time_budget with
+         | Some budget
+           when !sites_done > 0 && Unix.gettimeofday () -. t0 > budget ->
+             complete := false;
+             raise Exit
+         | _ -> ());
+         let gate = Netlist.Gate.name (Netlist.gate nl site) in
+         List.iter
+           (fun kind ->
+             let rng =
+               Random.State.make [| config.seed; site; kind_tag kind |]
+             in
+             let r =
+               Inject.run ~rng ~trials:config.trials_per_site spec nl
+                 { Inject.node = site; kind }
+             in
+             let events = r.Inject.trials * Spec.no spec in
+             let ci =
+               Stats.wilson_interval ~confidence:config.confidence
+                 ~trials:events ~successes:r.Inject.propagated
+             in
+             results :=
+               {
+                 site;
+                 gate;
+                 kind;
+                 trials = r.Inject.trials;
+                 events;
+                 propagated = r.Inject.propagated;
+                 rate = r.Inject.rate;
+                 ci;
+               }
+               :: !results)
+           config.kinds;
+         incr sites_done;
+         checkpoint (report ()))
+       sites
+   with Exit -> ());
+  report ()
+
+let pooled report =
+  List.map
+    (fun kind ->
+      let rs = List.filter (fun r -> r.kind = kind) report.results in
+      let p_sites = List.length rs in
+      let p_events = List.fold_left (fun acc r -> acc + r.events) 0 rs in
+      let p_propagated =
+        List.fold_left (fun acc r -> acc + r.propagated) 0 rs
+      in
+      let p_rate =
+        if p_events = 0 then 0.0
+        else float_of_int p_propagated /. float_of_int p_events
+      in
+      let p_ci =
+        if p_events = 0 then (0.0, 0.0)
+        else
+          Stats.wilson_interval ~confidence:report.config.confidence
+            ~trials:p_events ~successes:p_propagated
+      in
+      let p_worst =
+        List.fold_left
+          (fun acc r ->
+            match acc with
+            | Some w when w.rate >= r.rate -> acc
+            | _ -> Some r)
+          None rs
+      in
+      { p_kind = kind; p_sites; p_events; p_propagated; p_rate; p_ci; p_worst })
+    report.config.kinds
+
+let pp_report ppf report =
+  let status = if report.complete then "complete" else "PARTIAL" in
+  Format.fprintf ppf
+    "@[<v>fault campaign: %d/%d sites, %d trials/site, seed %d (%s, %.3f s)@,"
+    report.sites_done report.sites_total report.config.trials_per_site
+    report.config.seed status report.elapsed;
+  Format.fprintf ppf "  %-10s %6s  %8s  %-18s %s@," "kind" "sites" "rate"
+    "CI" "worst site";
+  List.iter
+    (fun p ->
+      let lo, hi = p.p_ci in
+      let worst =
+        match p.p_worst with
+        | None -> "-"
+        | Some w -> Printf.sprintf "n%d %s (%.4f)" w.site w.gate w.rate
+      in
+      Format.fprintf ppf "  %-10s %6d  %8.4f  [%.4f, %.4f]   %s@,"
+        (Inject.kind_name p.p_kind) p.p_sites p.p_rate lo hi worst)
+    (pooled report);
+  Format.fprintf ppf "@]"

@@ -20,6 +20,34 @@ let folded_normal_mean ~mu ~sigma =
     (sigma *. sqrt (2.0 /. pi) *. exp (-.(mu *. mu) /. (2.0 *. sigma *. sigma)))
     +. (mu *. (1.0 -. (2.0 *. normal_cdf ~mu:0.0 ~sigma:1.0 (-.mu /. sigma))))
 
+let normal_quantile p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "Stats.normal_quantile: p must be in (0,1)";
+  (* Bisection on the CDF: monotone, and the erf approximation is
+     accurate to ~1.5e-7, far below the tolerance needed here. *)
+  let lo = ref (-10.0) and hi = ref 10.0 in
+  for _ = 1 to 60 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if normal_cdf ~mu:0.0 ~sigma:1.0 mid < p then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let wilson_interval ~confidence ~trials ~successes =
+  if trials <= 0 then invalid_arg "Stats.wilson_interval: trials must be positive";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.wilson_interval: successes out of range";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Stats.wilson_interval: confidence must be in (0,1)";
+  let z = normal_quantile (1.0 -. ((1.0 -. confidence) /. 2.0)) in
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = p +. (z2 /. (2.0 *. n)) in
+  let half = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) in
+  let lo = (centre -. half) /. denom and hi = (centre +. half) /. denom in
+  (max 0.0 lo, min 1.0 hi)
+
 let log_factorial k =
   if k < 0 then invalid_arg "Stats.log_factorial: negative";
   if k <= 20 then begin

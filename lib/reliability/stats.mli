@@ -14,6 +14,20 @@ val normal_cdf : mu:float -> sigma:float -> float -> float
     when [sigma = 0.] it degenerates to [abs_float mu]. *)
 val folded_normal_mean : mu:float -> sigma:float -> float
 
+(** [normal_quantile p] is the inverse standard-normal CDF at
+    [p ∈ (0,1)], by bisection on {!normal_cdf} (absolute error below
+    1e-6 over the erf approximation's range). *)
+val normal_quantile : float -> float
+
+(** [wilson_interval ~confidence ~trials ~successes] is the Wilson
+    score interval [(lo, hi)] for a binomial proportion — the
+    confidence interval on a Monte-Carlo propagation rate.  Unlike
+    the normal approximation it behaves sensibly at 0 and [trials]
+    successes.  @raise Invalid_argument on [trials <= 0], a success
+    count outside [0..trials], or confidence outside (0,1). *)
+val wilson_interval :
+  confidence:float -> trials:int -> successes:int -> float * float
+
 (** [poisson_pmf ~lambda k] is e^-lambda lambda^k / k!, computed in
     log space for robustness; [lambda >= 0.], [k >= 0]. *)
 val poisson_pmf : lambda:float -> int -> float

@@ -26,6 +26,50 @@ let entries =
   ]
 
 let find name = List.find (fun en -> en.name = name) entries
+let find_opt name = List.find_opt (fun en -> en.name = name) entries
+
+(* Standard dynamic-programming edit distance; the suite has twelve
+   short names, so no cleverness needed. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      d.(i).(j) <-
+        min
+          (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1))
+          (d.(i - 1).(j - 1) + cost)
+    done
+  done;
+  d.(la).(lb)
+
+let suggestions name =
+  let lname = String.lowercase_ascii name in
+  let scored =
+    List.filter_map
+      (fun en ->
+        let d = edit_distance lname en.name in
+        let substring =
+          String.length lname >= 2
+          && String.length en.name >= String.length lname
+          && List.exists
+               (fun i ->
+                 String.sub en.name i (String.length lname) = lname)
+               (List.init
+                  (String.length en.name - String.length lname + 1)
+                  Fun.id)
+        in
+        if d <= 2 || substring then Some (d, en.name) else None)
+      entries
+  in
+  List.map snd (List.sort compare scored)
 
 (* Invert E[C^f] = f0^2 + f1^2 + fdc^2 for the care-phase split:
    given fdc and E, f0 and f1 are the roots of

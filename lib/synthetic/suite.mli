@@ -23,6 +23,14 @@ val entries : entry list
 (** [find name] looks an entry up. @raise Not_found. *)
 val find : string -> entry
 
+(** [find_opt name] is the exception-free {!find}. *)
+val find_opt : string -> entry option
+
+(** [suggestions name] is the benchmark names close to [name] (edit
+    distance <= 2, or containing it as a substring), best first — for
+    "did you mean" diagnostics on a failed lookup. *)
+val suggestions : string -> string list
+
 (** [load entry] generates the deterministic stand-in spec. *)
 val load : entry -> Pla.Spec.t
 

@@ -15,6 +15,8 @@ let () =
       Test_aig.suite;
       Test_techmap.suite;
       Test_reliability.suite;
+      Test_inject.suite;
+      Test_campaign.suite;
       Test_synthetic.suite;
       Test_circuits.suite;
       Test_core.suite;

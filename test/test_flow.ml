@@ -249,3 +249,118 @@ let shared_cases =
   ]
 
 let suite = (fst suite, snd suite @ shared_cases)
+
+(* Hardened failure paths: structured errors, the espresso budget with
+   unminimized-cover fallback, and the netlist carried in the result. *)
+
+let test_load_spec_suite () =
+  match Flow.load_spec "bench" with
+  | Ok s -> check_int "bench is 6-input" 6 (Pla.Spec.ni s)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Flow.error_to_string e)
+
+let test_load_spec_file () =
+  let path = Filename.temp_file "rdca_test" ".pla" in
+  let oc = open_out path in
+  output_string oc ".i 2\n.o 1\n11 1\n.e\n";
+  close_out oc;
+  let r = Flow.load_spec path in
+  Sys.remove path;
+  match r with
+  | Ok s -> check_int "parsed from file" 2 (Pla.Spec.ni s)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Flow.error_to_string e)
+
+let test_load_spec_unknown_benchmark () =
+  match Flow.load_spec "rando" with
+  | Error (Flow.Unknown_benchmark { name; suggestions }) ->
+      Alcotest.(check string) "name echoed" "rando" name;
+      check "suggests the random* benchmarks" true
+        (List.mem "random1" suggestions)
+  | Error e -> Alcotest.failf "wrong error: %s" (Flow.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Unknown_benchmark"
+
+let test_load_spec_missing_file () =
+  match Flow.load_spec "/nonexistent/dir/x.pla" with
+  | Error (Flow.Io_error _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Flow.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Io_error"
+
+let test_load_spec_parse_error () =
+  let path = Filename.temp_file "rdca_test" ".pla" in
+  let oc = open_out path in
+  output_string oc ".i x\n.o 1\n.e\n";
+  close_out oc;
+  let r = Flow.load_spec path in
+  Sys.remove path;
+  match r with
+  | Error (Flow.Parse_error { path = p; _ }) ->
+      check "path reported" true (p <> "")
+  | Error e -> Alcotest.failf "wrong error: %s" (Flow.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Parse_error"
+
+(* A zero cube budget forces the unminimized fallback on every output;
+   the run must still verify against the spec and report the
+   degradations. *)
+let test_budget_degrades_gracefully () =
+  let spec = small_spec () in
+  let budget = { Flow.max_cubes = Some 0; max_seconds = None } in
+  let r =
+    Flow.verified_synthesize ~budget ~mode:Techmap.Mapper.Area
+      ~strategy:Flow.Conventional spec
+  in
+  check_int "every output degraded" (Pla.Spec.no spec)
+    (List.length r.Flow.degradations);
+  List.iter
+    (fun d ->
+      check "printable" true (String.length (Flow.degradation_to_string d) > 0))
+    r.Flow.degradations;
+  let b = ER.mean_bounds spec in
+  check "error still within exact bounds" true
+    (r.Flow.error_rate >= ER.min_rate b -. 1e-9
+    && r.Flow.error_rate <= ER.max_rate b +. 1e-9);
+  (* unminimized covers inflate the cube count vs the minimized run *)
+  let minimized =
+    Flow.synthesize ~mode:Techmap.Mapper.Area ~strategy:Flow.Conventional spec
+  in
+  check "no degradations without budget" true
+    (minimized.Flow.degradations = []);
+  check "fallback uses more cubes" true
+    (r.Flow.sop_cubes >= minimized.Flow.sop_cubes)
+
+(* The netlist in the result record is the one that was measured: its
+   input-error rate recomputed from scratch matches [error_rate]. *)
+let test_result_netlist_consistent () =
+  let spec = small_spec () in
+  let r =
+    Flow.synthesize ~mode:Techmap.Mapper.Delay ~strategy:(Flow.Ranking 0.5) spec
+  in
+  Alcotest.(check (float 1e-9))
+    "of_netlist agrees" r.Flow.error_rate
+    (ER.of_netlist spec r.Flow.netlist)
+
+let test_synthesize_result_ok () =
+  let spec = small_spec () in
+  match
+    Flow.synthesize_result ~mode:Techmap.Mapper.Area
+      ~strategy:Flow.Conventional spec
+  with
+  | Ok r -> check "area positive" true (r.Flow.report.Techmap.Report.area > 0.0)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Flow.error_to_string e)
+
+let hardening_cases =
+  [
+    Alcotest.test_case "load_spec: suite benchmark" `Quick test_load_spec_suite;
+    Alcotest.test_case "load_spec: .pla file" `Quick test_load_spec_file;
+    Alcotest.test_case "load_spec: unknown benchmark suggests" `Quick
+      test_load_spec_unknown_benchmark;
+    Alcotest.test_case "load_spec: missing file" `Quick
+      test_load_spec_missing_file;
+    Alcotest.test_case "load_spec: parse error" `Quick
+      test_load_spec_parse_error;
+    Alcotest.test_case "budget degrades gracefully" `Quick
+      test_budget_degrades_gracefully;
+    Alcotest.test_case "result netlist consistent" `Quick
+      test_result_netlist_consistent;
+    Alcotest.test_case "synthesize_result ok" `Quick test_synthesize_result_ok;
+  ]
+
+let suite = (fst suite, snd suite @ hardening_cases)

@@ -171,3 +171,60 @@ let cover_writer_cases =
   ]
 
 let suite = (fst suite, snd suite @ cover_writer_cases)
+
+(* Malformed inputs must surface as structured errors (Parse_error, or
+   Error via the _res API) — never as Failure, Invalid_argument or any
+   other escaping exception. *)
+
+let expect_parse_error label text =
+  match Pla.parse_string text with
+  | _ -> Alcotest.failf "%s: expected Parse_error" label
+  | exception Pla.Parse_error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: escaped with %s instead of Parse_error" label
+        (Printexc.to_string e)
+
+let test_truncated_headers () =
+  expect_parse_error "bare .i" ".i\n.o 1\n.e\n";
+  expect_parse_error "bare .o" ".i 1\n.o\n.e\n";
+  expect_parse_error "non-integer .i" ".i three\n.o 1\n.e\n";
+  expect_parse_error "non-integer .o" ".i 1\n.o x\n.e\n";
+  expect_parse_error "two-arg .i" ".i 1 2\n.o 1\n.e\n";
+  expect_parse_error "negative .i" ".i -4\n.o 1\n.e\n";
+  expect_parse_error "zero outputs" ".i 1\n.o 0\n.e\n";
+  expect_parse_error "oversized .i" ".i 21\n.o 1\n.e\n";
+  expect_parse_error "bare .type" ".i 1\n.o 1\n.type\n.e\n"
+
+let test_wrong_width_rows () =
+  expect_parse_error "input row too long" ".i 2\n.o 1\n111 1\n.e\n";
+  expect_parse_error "input row too short" ".i 3\n.o 1\n11 1\n.e\n";
+  expect_parse_error "output part too long" ".i 2\n.o 1\n11 11\n.e\n";
+  expect_parse_error "output part missing" ".i 2\n.o 1\n11\n.e\n";
+  expect_parse_error "three fields" ".i 2\n.o 1\n11 1 1\n.e\n"
+
+let test_illegal_characters () =
+  expect_parse_error "bad input char" ".i 2\n.o 1\nx1 1\n.e\n";
+  expect_parse_error "bad output char" ".i 2\n.o 1\n11 z\n.e\n";
+  expect_parse_error "bad type" ".i 2\n.o 1\n.type qq\n11 1\n.e\n";
+  expect_parse_error "unknown directive" ".i 2\n.o 1\n.magic\n11 1\n.e\n"
+
+let test_result_api () =
+  (match Pla.parse_string_res ".i\n.o 1\n.e\n" with
+  | Error msg -> check "message mentions .i" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected Error");
+  (match Pla.parse_string_res sample_fd with
+  | Ok p -> check_int "ok parse" 3 (Spec.ni p.Pla.spec)
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg);
+  match Pla.parse_file_res "/nonexistent/path/f.pla" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error for missing file"
+
+let malformed_cases =
+  [
+    Alcotest.test_case "truncated headers" `Quick test_truncated_headers;
+    Alcotest.test_case "wrong-width rows" `Quick test_wrong_width_rows;
+    Alcotest.test_case "illegal characters" `Quick test_illegal_characters;
+    Alcotest.test_case "result api" `Quick test_result_api;
+  ]
+
+let suite = (fst suite, snd suite @ malformed_cases)

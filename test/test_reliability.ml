@@ -398,3 +398,117 @@ let kbit_cases =
   ]
 
 let suite = (fst suite, snd suite @ kbit_cases)
+
+(* Confidence-interval helpers backing the fault campaigns. *)
+
+let test_normal_quantile () =
+  check_f 1e-4 "median" 0.0 (Stats.normal_quantile 0.5);
+  check_f 1e-3 "97.5%" 1.95996 (Stats.normal_quantile 0.975);
+  check_f 1e-3 "2.5%" (-1.95996) (Stats.normal_quantile 0.025);
+  check_f 1e-3 "99.5%" 2.57583 (Stats.normal_quantile 0.995);
+  (* quantile inverts the cdf *)
+  check_f 1e-4 "roundtrip" 0.8
+    (Stats.normal_cdf ~mu:0.0 ~sigma:1.0 (Stats.normal_quantile 0.8))
+
+let test_wilson_interval () =
+  (* Textbook value: 5/10 at 95% is (0.2366, 0.7634). *)
+  let lo, hi = Stats.wilson_interval ~confidence:0.95 ~trials:10 ~successes:5 in
+  check_f 1e-3 "5/10 lo" 0.2366 lo;
+  check_f 1e-3 "5/10 hi" 0.7634 hi;
+  (* Behaves sensibly at the extremes: nonzero width, clamped. *)
+  let lo, hi = Stats.wilson_interval ~confidence:0.95 ~trials:50 ~successes:0 in
+  check_f 1e-9 "0/50 lo" 0.0 lo;
+  check "0/50 hi positive" true (hi > 0.0 && hi < 0.1);
+  let lo, hi =
+    Stats.wilson_interval ~confidence:0.95 ~trials:50 ~successes:50
+  in
+  check_f 1e-9 "50/50 hi" 1.0 hi;
+  check "50/50 lo below one" true (lo < 1.0 && lo > 0.9);
+  (* Higher confidence widens the interval. *)
+  let l95, h95 =
+    Stats.wilson_interval ~confidence:0.95 ~trials:100 ~successes:20
+  in
+  let l99, h99 =
+    Stats.wilson_interval ~confidence:0.99 ~trials:100 ~successes:20
+  in
+  check "99% wider" true (l99 < l95 && h99 > h95)
+
+let test_wilson_validation () =
+  let expect label f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+    | exception Invalid_argument _ -> ()
+  in
+  expect "trials = 0" (fun () ->
+      Stats.wilson_interval ~confidence:0.95 ~trials:0 ~successes:0);
+  expect "successes > trials" (fun () ->
+      Stats.wilson_interval ~confidence:0.95 ~trials:5 ~successes:6);
+  expect "negative successes" (fun () ->
+      Stats.wilson_interval ~confidence:0.95 ~trials:5 ~successes:(-1));
+  expect "confidence = 1" (fun () ->
+      Stats.wilson_interval ~confidence:1.0 ~trials:5 ~successes:2)
+
+(* Fault_sim convergence on real synthesized benchmarks: for a mapped
+   netlist of a fully specified implementation, the Monte-Carlo
+   input-error rate must converge to the analytic
+   {!Error_rate.of_netlist} for a fixed seed. *)
+
+module Flow = Rdca_flow.Flow
+
+let test_fault_sim_suite_benchmarks () =
+  List.iter
+    (fun name ->
+      let spec =
+        match Flow.load_spec name with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "load %s: %s" name (Flow.error_to_string e)
+      in
+      let r =
+        Flow.synthesize ~mode:Techmap.Mapper.Area ~strategy:Flow.Conventional
+          spec
+      in
+      let exact = ER.of_netlist spec r.Flow.netlist in
+      let rng = Random.State.make [| 2026 |] in
+      let mc =
+        Reliability.Fault_sim.run ~rng ~trials:20000 spec r.Flow.netlist
+      in
+      check
+        (Printf.sprintf "%s: mc %.4f ~ exact %.4f" name
+           mc.Reliability.Fault_sim.rate exact)
+        true
+        (abs_float (mc.Reliability.Fault_sim.rate -. exact) < 0.02))
+    [ "bench"; "fout" ]
+
+let test_fault_sim_validation () =
+  let nl = Netlist.create ~ni:4 in
+  let a = Netlist.add nl Netlist.Gate.And [| 0; 1 |] in
+  Netlist.set_outputs nl [| a |];
+  let s = Spec.create ~ni:4 ~no:1 ~default:Spec.On in
+  let expect label f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+    | exception Invalid_argument _ -> ()
+  in
+  expect "trials = 0" (fun () ->
+      Reliability.Fault_sim.run ~rng:(Random.State.make [| 1 |]) ~trials:0 s nl);
+  expect "trials < 0" (fun () ->
+      Reliability.Fault_sim.run
+        ~rng:(Random.State.make [| 1 |])
+        ~trials:(-3) s nl);
+  let wide = Spec.create ~ni:5 ~no:1 ~default:Spec.On in
+  expect "arity mismatch" (fun () ->
+      Reliability.Fault_sim.run
+        ~rng:(Random.State.make [| 1 |])
+        ~trials:10 wide nl)
+
+let campaign_support_cases =
+  [
+    Alcotest.test_case "normal quantile" `Quick test_normal_quantile;
+    Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
+    Alcotest.test_case "wilson validation" `Quick test_wilson_validation;
+    Alcotest.test_case "fault sim converges on suite benchmarks" `Quick
+      test_fault_sim_suite_benchmarks;
+    Alcotest.test_case "fault sim validation" `Quick test_fault_sim_validation;
+  ]
+
+let suite = (fst suite, snd suite @ campaign_support_cases)
