@@ -1,317 +1,462 @@
 (* Benchmark harness: regenerates every table and figure of the
    paper's evaluation (printed as aligned text tables), then runs
-   bechamel micro-benchmarks of the core kernels.
+   bechamel micro-benchmarks of the core kernels.  Alongside the text
+   output it writes BENCH_results.json: per-section wall-clock at one
+   job and at N jobs, the speedup, whether the two runs produced
+   identical results, and a few key result scalars — a machine-checkable
+   regression record for CI.
 
    Usage:
-     dune exec bench/main.exe               # everything, laptop-scale
-     dune exec bench/main.exe -- table2     # one section
-     dune exec bench/main.exe -- --full     # paper-scale fig2/fig6 sweeps
-   Sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal micro *)
+     dune exec bench/main.exe                  # everything, laptop-scale
+     dune exec bench/main.exe -- table2        # one section
+     dune exec bench/main.exe -- --full        # paper-scale sweeps
+     dune exec bench/main.exe -- --jobs 4      # worker domains (also RDCA_JOBS)
+     dune exec bench/main.exe -- --json out.json
+   Sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal micro
+
+   Exits non-zero if any section's parallel results differ from its
+   sequential results. *)
 
 module E = Rdca_flow.Experiments
 module T = Rdca_flow.Tablefmt
+module J = Rdca_flow.Jsonout
+module Pool = Parallel.Pool
 
-let timed name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
-  r
+type table = { title : string; header : string list; rows : string list list }
+
+type outcome = { tables : table list; scalars : (string * float) list }
+
+(* Everything that reaches the user, rendered to a canonical string:
+   two runs are "identical" iff their signatures match. *)
+let signature o =
+  String.concat "\n"
+    (List.map (fun t -> String.concat "|" (List.concat t.rows)) o.tables)
+  ^ String.concat ";"
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%.17g" k v) o.scalars)
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
 
 (* ------------------------------------------------------------------ *)
 
-let run_table1 () =
-  let rows = timed "table1" E.table1 in
-  T.print ~title:"Table 1: benchmark properties (measured vs paper)"
-    ~header:
-      [ "name"; "in"; "out"; "%DC"; "E[Cf]"; "E[Cf] paper"; "Cf"; "Cf paper" ]
-    (List.map
-       (fun r ->
-         [
-           r.E.t1_name;
-           string_of_int r.E.t1_ni;
-           string_of_int r.E.t1_no;
-           T.pct r.E.t1_dc_pct;
-           T.f3 r.E.t1_ecf;
-           T.f3 r.E.t1_paper_ecf;
-           T.f3 r.E.t1_cf;
-           T.f3 r.E.t1_paper_cf;
-         ])
-       rows)
+let run_table1 ~full:_ () =
+  let rows = E.table1 () in
+  {
+    tables =
+      [
+        {
+          title = "Table 1: benchmark properties (measured vs paper)";
+          header =
+            [
+              "name"; "in"; "out"; "%DC"; "E[Cf]"; "E[Cf] paper"; "Cf";
+              "Cf paper";
+            ];
+          rows =
+            List.map
+              (fun r ->
+                [
+                  r.E.t1_name;
+                  string_of_int r.E.t1_ni;
+                  string_of_int r.E.t1_no;
+                  T.pct r.E.t1_dc_pct;
+                  T.f3 r.E.t1_ecf;
+                  T.f3 r.E.t1_paper_ecf;
+                  T.f3 r.E.t1_cf;
+                  T.f3 r.E.t1_paper_cf;
+                ])
+              rows;
+        };
+      ];
+    scalars =
+      [
+        ("benchmarks", float_of_int (List.length rows));
+        ("mean_cf", mean (List.map (fun r -> r.E.t1_cf) rows));
+      ];
+  }
 
 let run_fig2 ~full () =
+  (* The seed lives inside the section so the jobs=1 and jobs=N runs
+     start from the same stream. *)
   let rng = Random.State.make [| 2011 |] in
   let per_target = if full then 10 else 3 in
-  let rows = timed "fig2" (fun () -> E.fig2 ~per_target ~rng ()) in
-  T.print
-    ~title:
-      "Figure 2: minimised SOP size vs complexity factor (10-in/1-out \
-       synthetics)"
-    ~header:[ "target Cf"; "measured Cf"; "SOP implicants" ]
-    (List.map
-       (fun p ->
-         [ T.f2 p.E.f2_target; T.f3 p.E.f2_measured_cf; string_of_int p.E.f2_sop ])
-       rows)
+  let rows = E.fig2 ~per_target ~rng () in
+  {
+    tables =
+      [
+        {
+          title =
+            "Figure 2: minimised SOP size vs complexity factor (10-in/1-out \
+             synthetics)";
+          header = [ "target Cf"; "measured Cf"; "SOP implicants" ];
+          rows =
+            List.map
+              (fun p ->
+                [
+                  T.f2 p.E.f2_target;
+                  T.f3 p.E.f2_measured_cf;
+                  string_of_int p.E.f2_sop;
+                ])
+              rows;
+        };
+      ];
+    scalars =
+      [
+        ("points", float_of_int (List.length rows));
+        ("mean_sop", mean (List.map (fun p -> float_of_int p.E.f2_sop) rows));
+      ];
+  }
 
-let sweep_cache = ref None
+(* The fraction sweep feeds both fig4 and fig5; cache it per
+   (full, jobs) key — the laptop and --full grids differ, and the
+   harness deliberately re-runs each section at two job counts, so
+   either ingredient changing must invalidate the cache. *)
+let sweep_fractions ~full =
+  if full then Array.init 11 (fun i -> float_of_int i /. 10.0)
+  else [| 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 |]
 
-let get_sweep () =
-  match !sweep_cache with
+let sweep_cache : ((bool * int) * E.sweep_row list) list ref = ref []
+
+let get_sweep ~full () =
+  let key = (full, Pool.jobs (Pool.shared ())) in
+  match List.assoc_opt key !sweep_cache with
   | Some s -> s
   | None ->
-      let s = timed "fraction sweep (figs 4+5)" (fun () -> E.sweep ()) in
-      sweep_cache := Some s;
+      let s = E.sweep ~fractions:(sweep_fractions ~full) () in
+      sweep_cache := (key, s) :: !sweep_cache;
       s
 
-let run_fig4 () =
-  let rows = E.fig4_of_sweep (get_sweep ()) in
-  let fractions = [| 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 |] in
-  T.print
-    ~title:
-      "Figure 4: normalised error rate vs fraction of DCs ranking-assigned"
-    ~header:
-      ("name"
-      :: Array.to_list (Array.map (fun f -> Printf.sprintf "f=%.1f" f) fractions)
-      )
-    (List.map
-       (fun (name, norms) -> name :: Array.to_list (Array.map T.f3 norms))
-       rows)
-
-let run_fig5 () =
-  let stats = E.fig5_of_sweep (get_sweep ()) in
-  T.print
-    ~title:
-      "Figure 5: normalised min/mean/max area, delay, power vs fraction (per \
-       optimisation mode)"
-    ~header:
+let run_fig4 ~full () =
+  let sweep = get_sweep ~full () in
+  let rows = E.fig4_of_sweep sweep in
+  let fractions =
+    match sweep with r :: _ -> r.E.sw_fractions | [] -> sweep_fractions ~full
+  in
+  {
+    tables =
       [
-        "mode"; "frac"; "area min"; "area mean"; "area max"; "delay min";
-        "delay mean"; "delay max"; "power min"; "power mean"; "power max";
-      ]
-    (List.map
-       (fun s ->
-         let amin, dmin, pmin = s.E.f5_min in
-         let amean, dmean, pmean = s.E.f5_mean in
-         let amax, dmax, pmax = s.E.f5_max in
-         [
-           Techmap.Mapper.mode_name s.E.f5_mode;
-           T.f2 s.E.f5_fraction;
-           T.f2 amin; T.f2 amean; T.f2 amax;
-           T.f2 dmin; T.f2 dmean; T.f2 dmax;
-           T.f2 pmin; T.f2 pmean; T.f2 pmax;
-         ])
-       stats)
+        {
+          title =
+            "Figure 4: normalised error rate vs fraction of DCs \
+             ranking-assigned";
+          header =
+            ("name"
+            :: Array.to_list
+                 (Array.map (fun f -> Printf.sprintf "f=%.1f" f) fractions));
+          rows =
+            List.map
+              (fun (name, norms) ->
+                name :: Array.to_list (Array.map T.f3 norms))
+              rows;
+        };
+      ];
+    scalars =
+      [
+        ("benchmarks", float_of_int (List.length rows));
+        ( "mean_norm_error_full_assign",
+          mean (List.map (fun (_, n) -> n.(Array.length n - 1)) rows) );
+      ];
+  }
+
+let run_fig5 ~full () =
+  let stats = E.fig5_of_sweep (get_sweep ~full ()) in
+  let last_delay_area =
+    List.fold_left
+      (fun acc s ->
+        match s.E.f5_mode with
+        | Techmap.Mapper.Delay -> (fun (a, _, _) -> a) s.E.f5_mean
+        | _ -> acc)
+      1.0 stats
+  in
+  {
+    tables =
+      [
+        {
+          title =
+            "Figure 5: normalised min/mean/max area, delay, power vs fraction \
+             (per optimisation mode)";
+          header =
+            [
+              "mode"; "frac"; "area min"; "area mean"; "area max"; "delay min";
+              "delay mean"; "delay max"; "power min"; "power mean"; "power max";
+            ];
+          rows =
+            List.map
+              (fun s ->
+                let amin, dmin, pmin = s.E.f5_min in
+                let amean, dmean, pmean = s.E.f5_mean in
+                let amax, dmax, pmax = s.E.f5_max in
+                [
+                  Techmap.Mapper.mode_name s.E.f5_mode;
+                  T.f2 s.E.f5_fraction;
+                  T.f2 amin; T.f2 amean; T.f2 amax;
+                  T.f2 dmin; T.f2 dmean; T.f2 dmax;
+                  T.f2 pmin; T.f2 pmean; T.f2 pmax;
+                ])
+              stats;
+        };
+      ];
+    scalars = [ ("mean_area_ratio_delay_mode_last", last_delay_area) ];
+  }
 
 let run_fig6 ~full () =
   let rng = Random.State.make [| 66 |] in
   let funcs = if full then 10 else 2 in
-  let families =
-    timed "fig6" (fun () -> E.fig6 ~funcs_per_family:funcs ~rng ())
-  in
-  T.print
-    ~title:
-      "Figure 6: normalised area vs normalised error rate, by Cf family \
-       (11-in/11-out, 60% DC; fraction sweep 0..1)"
-    ~header:[ "Cf family"; "fraction"; "norm area"; "norm error" ]
-    (List.concat_map
-       (fun fam ->
-         List.map
-           (fun p ->
-             [
-               T.f2 fam.E.f6_cf;
-               T.f2 p.E.f6_fraction;
-               T.f3 p.E.f6_area;
-               T.f3 p.E.f6_error;
-             ])
-           fam.E.f6_points)
-       families)
-
-let run_table2 () =
-  let rows = timed "table2" (fun () -> E.table2 ()) in
-  T.print
-    ~title:
-      "Table 2: complexity-factor-based assignment results (improvement %, \
-       negative = overhead)"
-    ~header:
+  let families = E.fig6 ~funcs_per_family:funcs ~rng () in
+  {
+    tables =
       [
-        "name"; "Cf"; "LCf area"; "LCf E.R."; "Rank area"; "Rank E.R.";
-        "Compl area"; "Compl E.R.";
-      ]
-    (List.map
-       (fun r ->
-         [
-           r.E.t2_name;
-           T.f3 r.E.t2_cf;
-           T.pct r.E.t2_lcf_area;
-           T.pct r.E.t2_lcf_er;
-           T.pct r.E.t2_rank_area;
-           T.pct r.E.t2_rank_er;
-           T.pct r.E.t2_comp_area;
-           T.pct r.E.t2_comp_er;
-         ])
-       rows)
+        {
+          title =
+            "Figure 6: normalised area vs normalised error rate, by Cf family \
+             (11-in/11-out, 60% DC; fraction sweep 0..1)";
+          header = [ "Cf family"; "fraction"; "norm area"; "norm error" ];
+          rows =
+            List.concat_map
+              (fun fam ->
+                List.map
+                  (fun p ->
+                    [
+                      T.f2 fam.E.f6_cf;
+                      T.f2 p.E.f6_fraction;
+                      T.f3 p.E.f6_area;
+                      T.f3 p.E.f6_error;
+                    ])
+                  fam.E.f6_points)
+              families;
+        };
+      ];
+    scalars = [ ("families", float_of_int (List.length families)) ];
+  }
 
-let run_table3 () =
-  let rows = timed "table3" (fun () -> E.table3 ()) in
-  T.print ~title:"Table 3: min-max reliability estimates"
-    ~header:
+let run_table2 ~full:_ () =
+  let rows = E.table2 () in
+  {
+    tables =
       [
-        "name"; "gates"; "exact lo"; "exact hi"; "signal lo"; "signal hi";
-        "border lo"; "border hi"; "conv rate"; "conv %diff"; "LCf rate";
-        "LCf %diff";
-      ]
-    (List.map
-       (fun r ->
-         let xl, xh = r.E.t3_exact in
-         let sl, sh = r.E.t3_signal in
-         let bl, bh = r.E.t3_border in
-         [
-           r.E.t3_name;
-           string_of_int r.E.t3_gates;
-           T.f3 xl; T.f3 xh; T.f3 sl; T.f3 sh; T.f3 bl; T.f3 bh;
-           T.f3 r.E.t3_conv_rate; T.pct r.E.t3_conv_diff;
-           T.f3 r.E.t3_lcf_rate; T.pct r.E.t3_lcf_diff;
-         ])
-       rows)
+        {
+          title =
+            "Table 2: complexity-factor-based assignment results \
+             (improvement %, negative = overhead)";
+          header =
+            [
+              "name"; "Cf"; "LCf area"; "LCf E.R."; "Rank area"; "Rank E.R.";
+              "Compl area"; "Compl E.R.";
+            ];
+          rows =
+            List.map
+              (fun r ->
+                [
+                  r.E.t2_name;
+                  T.f3 r.E.t2_cf;
+                  T.pct r.E.t2_lcf_area;
+                  T.pct r.E.t2_lcf_er;
+                  T.pct r.E.t2_rank_area;
+                  T.pct r.E.t2_rank_er;
+                  T.pct r.E.t2_comp_area;
+                  T.pct r.E.t2_comp_er;
+                ])
+              rows;
+        };
+      ];
+    scalars =
+      [
+        ("mean_lcf_er_impr", mean (List.map (fun r -> r.E.t2_lcf_er) rows));
+        ("mean_rank_er_impr", mean (List.map (fun r -> r.E.t2_rank_er) rows));
+        ("mean_comp_er_impr", mean (List.map (fun r -> r.E.t2_comp_er) rows));
+      ];
+  }
 
-let run_ablations () =
-  let thr =
-    timed "ablation: threshold sweep" (fun () ->
-        E.ablation_threshold ~name:"ex1010" ())
-  in
-  T.print ~title:"Ablation: LCf threshold sweep on ex1010 (improvement %)"
-    ~header:[ "threshold"; "area"; "error rate" ]
-    (List.map (fun (t, a, e) -> [ T.f2 t; T.pct a; T.pct e ]) thr);
-  let nm =
-    timed "ablation: neighbour model" (fun () -> E.ablation_neighbour_model ())
-  in
-  T.print
-    ~title:
-      "Ablation: Poisson vs binomial neighbour model (border-based bounds)"
-    ~header:
+let run_table3 ~full:_ () =
+  let rows = E.table3 () in
+  {
+    tables =
       [
-        "name"; "poisson lo"; "poisson hi"; "binom lo"; "binom hi";
-        "exact lo"; "exact hi";
-      ]
-    (List.map
-       (fun (name, (pl, ph), (bl, bh), (xl, xh)) ->
-         [ name; T.f3 pl; T.f3 ph; T.f3 bl; T.f3 bh; T.f3 xl; T.f3 xh ])
-       nm);
-  let bal = timed "ablation: balance" (fun () -> E.ablation_balance ()) in
-  T.print ~title:"Ablation: AIG balancing effect on critical path (ns)"
-    ~header:[ "name"; "with balance"; "without" ]
-    (List.map (fun (name, w, wo) -> [ name; T.f3 w; T.f3 wo ]) bal);
+        {
+          title = "Table 3: min-max reliability estimates";
+          header =
+            [
+              "name"; "gates"; "exact lo"; "exact hi"; "signal lo"; "signal hi";
+              "border lo"; "border hi"; "conv rate"; "conv %diff"; "LCf rate";
+              "LCf %diff";
+            ];
+          rows =
+            List.map
+              (fun r ->
+                let xl, xh = r.E.t3_exact in
+                let sl, sh = r.E.t3_signal in
+                let bl, bh = r.E.t3_border in
+                [
+                  r.E.t3_name;
+                  string_of_int r.E.t3_gates;
+                  T.f3 xl; T.f3 xh; T.f3 sl; T.f3 sh; T.f3 bl; T.f3 bh;
+                  T.f3 r.E.t3_conv_rate; T.pct r.E.t3_conv_diff;
+                  T.f3 r.E.t3_lcf_rate; T.pct r.E.t3_lcf_diff;
+                ])
+              rows;
+        };
+      ];
+    scalars =
+      [
+        ( "mean_exact_lo",
+          mean (List.map (fun r -> fst r.E.t3_exact) rows) );
+        ("mean_conv_rate", mean (List.map (fun r -> r.E.t3_conv_rate) rows));
+      ];
+  }
+
+let run_ablations ~full:_ () =
+  let thr = E.ablation_threshold ~name:"ex1010" () in
+  let nm = E.ablation_neighbour_model () in
+  let bal = E.ablation_balance () in
   let sh =
-    timed "ablation: output sharing" (fun () ->
-        E.ablation_sharing
-          ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010"; "exam" ]
-          ())
+    E.ablation_sharing
+      ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010"; "exam" ]
+      ()
   in
-  T.print
-    ~title:
-      "Ablation: per-output vs shared-cube (multi-output espresso) \
-       minimisation"
-    ~header:[ "name"; "area single"; "area shared"; "cubes single"; "cubes shared" ]
-    (List.map
-       (fun (name, a1, a2, c1, c2) ->
-         [ name; T.f2 a1; T.f2 a2; string_of_int c1; string_of_int c2 ])
-       sh);
   let fc =
-    timed "ablation: factoring" (fun () ->
-        E.ablation_factoring
-          ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010"; "exam" ]
-          ())
+    E.ablation_factoring
+      ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010"; "exam" ]
+      ()
   in
-  T.print
-    ~title:"Ablation: flat SOP vs algebraically factored AIG construction"
-    ~header:
-      [ "name"; "area flat"; "area factored"; "nodes flat"; "nodes factored" ]
-    (List.map
-       (fun (name, a1, a2, n1, n2) ->
-         [ name; T.f2 a1; T.f2 a2; string_of_int n1; string_of_int n2 ])
-       fc);
-  let mb =
-    timed "ablation: multi-bit errors" (fun () ->
-        E.ablation_multibit ~names:[ "bench"; "test4"; "ex1010" ] ())
-  in
-  T.print
-    ~title:
-      "Ablation: single-bit-tuned assignment under k-bit input errors"
-    ~header:[ "name"; "k"; "conv rate"; "complete rate"; "improvement %" ]
-    (List.map
-       (fun (name, k, rc, rr, impr) ->
-         [ name; string_of_int k; T.f3 rc; T.f3 rr; T.pct impr ])
-       mb)
+  let mb = E.ablation_multibit ~names:[ "bench"; "test4"; "ex1010" ] () in
+  {
+    tables =
+      [
+        {
+          title = "Ablation: LCf threshold sweep on ex1010 (improvement %)";
+          header = [ "threshold"; "area"; "error rate" ];
+          rows = List.map (fun (t, a, e) -> [ T.f2 t; T.pct a; T.pct e ]) thr;
+        };
+        {
+          title =
+            "Ablation: Poisson vs binomial neighbour model (border-based \
+             bounds)";
+          header =
+            [
+              "name"; "poisson lo"; "poisson hi"; "binom lo"; "binom hi";
+              "exact lo"; "exact hi";
+            ];
+          rows =
+            List.map
+              (fun (name, (pl, ph), (bl, bh), (xl, xh)) ->
+                [ name; T.f3 pl; T.f3 ph; T.f3 bl; T.f3 bh; T.f3 xl; T.f3 xh ])
+              nm;
+        };
+        {
+          title = "Ablation: AIG balancing effect on critical path (ns)";
+          header = [ "name"; "with balance"; "without" ];
+          rows = List.map (fun (name, w, wo) -> [ name; T.f3 w; T.f3 wo ]) bal;
+        };
+        {
+          title =
+            "Ablation: per-output vs shared-cube (multi-output espresso) \
+             minimisation";
+          header =
+            [
+              "name"; "area single"; "area shared"; "cubes single";
+              "cubes shared";
+            ];
+          rows =
+            List.map
+              (fun (name, a1, a2, c1, c2) ->
+                [ name; T.f2 a1; T.f2 a2; string_of_int c1; string_of_int c2 ])
+              sh;
+        };
+        {
+          title =
+            "Ablation: flat SOP vs algebraically factored AIG construction";
+          header =
+            [ "name"; "area flat"; "area factored"; "nodes flat";
+              "nodes factored" ];
+          rows =
+            List.map
+              (fun (name, a1, a2, n1, n2) ->
+                [ name; T.f2 a1; T.f2 a2; string_of_int n1; string_of_int n2 ])
+              fc;
+        };
+        {
+          title = "Ablation: single-bit-tuned assignment under k-bit input errors";
+          header = [ "name"; "k"; "conv rate"; "complete rate"; "improvement %" ];
+          rows =
+            List.map
+              (fun (name, k, rc, rr, impr) ->
+                [ name; string_of_int k; T.f3 rc; T.f3 rr; T.pct impr ])
+              mb;
+        };
+      ];
+    scalars = [ ("mean_multibit_impr", mean (List.map (fun (_, _, _, _, i) -> i) mb)) ];
+  }
 
-let run_nodal () =
+let run_nodal ~full:_ () =
+  let impr before after =
+    if before = 0.0 then 0.0 else 100.0 *. (before -. after) /. before
+  in
   let rows =
-    timed "nodal decomposition" (fun () ->
-        E.nodal_decomposition
-          ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010" ]
-          ())
+    E.nodal_decomposition ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010" ] ()
   in
-  T.print
-    ~title:
-      "Section 4 extension: internal error rate before/after nodal LCf \
-       reassignment"
-    ~header:[ "name"; "before"; "after"; "improvement %" ]
-    (List.map
-       (fun (name, before, after) ->
-         [
-           name;
-           T.f3 before;
-           T.f3 after;
-           T.pct
-             (if before = 0.0 then 0.0
-              else 100.0 *. (before -. after) /. before);
-         ])
-       rows);
   let rrows =
-    timed "nodal decomposition (renode / 4-LUT)" (fun () ->
-        E.nodal_renode ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010" ] ())
+    E.nodal_renode ~names:[ "bench"; "fout"; "p3"; "test4"; "ex1010" ] ()
   in
-  T.print
-    ~title:
-      "Section 4 extension at renode (4-LUT) granularity: coarser local \
-       DC spaces"
-    ~header:[ "name"; "LUTs"; "with DCs"; "before"; "after"; "improvement %" ]
-    (List.map
-       (fun (name, luts, dcs, before, after) ->
-         [
-           name;
-           string_of_int luts;
-           string_of_int dcs;
-           T.f3 before;
-           T.f3 after;
-           T.pct
-             (if before = 0.0 then 0.0
-              else 100.0 *. (before -. after) /. before);
-         ])
-       rrows);
-  let orows =
-    timed "nodal decomposition (ODC-aware)" (fun () ->
-        E.nodal_odc ~names:[ "bench"; "fout"; "p3"; "test4" ] ())
-  in
-  T.print
-    ~title:
-      "Section 4 extension: satisfiability-only vs observability-aware \
-       reassignment (internal error rate)"
-    ~header:[ "name"; "baseline"; "SDC only"; "with ODC"; "ODC improvement %" ]
-    (List.map
-       (fun (name, base, sdc, odc) ->
-         [
-           name;
-           T.f3 base;
-           T.f3 sdc;
-           T.f3 odc;
-           T.pct
-             (if base = 0.0 then 0.0 else 100.0 *. (base -. odc) /. base);
-         ])
-       orows)
+  let orows = E.nodal_odc ~names:[ "bench"; "fout"; "p3"; "test4" ] () in
+  {
+    tables =
+      [
+        {
+          title =
+            "Section 4 extension: internal error rate before/after nodal LCf \
+             reassignment";
+          header = [ "name"; "before"; "after"; "improvement %" ];
+          rows =
+            List.map
+              (fun (name, before, after) ->
+                [ name; T.f3 before; T.f3 after; T.pct (impr before after) ])
+              rows;
+        };
+        {
+          title =
+            "Section 4 extension at renode (4-LUT) granularity: coarser local \
+             DC spaces";
+          header =
+            [ "name"; "LUTs"; "with DCs"; "before"; "after"; "improvement %" ];
+          rows =
+            List.map
+              (fun (name, luts, dcs, before, after) ->
+                [
+                  name;
+                  string_of_int luts;
+                  string_of_int dcs;
+                  T.f3 before;
+                  T.f3 after;
+                  T.pct (impr before after);
+                ])
+              rrows;
+        };
+        {
+          title =
+            "Section 4 extension: satisfiability-only vs observability-aware \
+             reassignment (internal error rate)";
+          header =
+            [ "name"; "baseline"; "SDC only"; "with ODC"; "ODC improvement %" ];
+          rows =
+            List.map
+              (fun (name, base, sdc, odc) ->
+                [ name; T.f3 base; T.f3 sdc; T.f3 odc; T.pct (impr base odc) ])
+              orows;
+        };
+      ];
+    scalars =
+      [
+        ( "mean_nodal_impr",
+          mean (List.map (fun (_, b, a) -> impr b a) rows) );
+      ];
+  }
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks of the core kernels. *)
+(* Bechamel micro-benchmarks of the core kernels.  Timing is noisy by
+   nature, so this section runs once and is excluded from the
+   identical-results check. *)
 
-let micro () =
+let run_micro ~full:_ () =
   let open Bechamel in
   let spec = Synthetic.Suite.load_by_name "ex1010" in
   let on = Pla.Spec.on_bv spec ~o:0 and dc = Pla.Spec.dc_bv spec ~o:0 in
@@ -365,36 +510,153 @@ let micro () =
       results []
     |> List.sort compare
   in
-  T.print ~title:"Micro-benchmarks (monotonic clock, per call)"
-    ~header:[ "kernel"; "time" ]
-    (List.map
-       (fun (name, ns) ->
-         let h =
-           if Float.is_nan ns then "n/a"
-           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-           else Printf.sprintf "%.0f ns" ns
-         in
-         [ name; h ])
-       rows)
+  {
+    tables =
+      [
+        {
+          title = "Micro-benchmarks (monotonic clock, per call)";
+          header = [ "kernel"; "time" ];
+          rows =
+            List.map
+              (fun (name, ns) ->
+                let h =
+                  if Float.is_nan ns then "n/a"
+                  else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+                  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+                  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+                  else Printf.sprintf "%.0f ns" ns
+                in
+                [ name; h ])
+              rows;
+        };
+      ];
+    scalars = List.map (fun (name, ns) -> (name ^ "_ns", ns)) rows;
+  }
 
 (* ------------------------------------------------------------------ *)
+(* Driver: run each requested section at one job and (when --jobs > 1)
+   again at N jobs, check the results match, and record both times. *)
+
+type section = {
+  sec_name : string;
+  dual : bool;  (** false: timing-noise sections run once *)
+  build : full:bool -> unit -> outcome;
+}
+
+let sections =
+  [
+    { sec_name = "table1"; dual = true; build = run_table1 };
+    { sec_name = "fig2"; dual = true; build = run_fig2 };
+    { sec_name = "fig4"; dual = true; build = run_fig4 };
+    { sec_name = "fig5"; dual = true; build = run_fig5 };
+    { sec_name = "fig6"; dual = true; build = run_fig6 };
+    { sec_name = "table2"; dual = true; build = run_table2 };
+    { sec_name = "table3"; dual = true; build = run_table3 };
+    { sec_name = "ablations"; dual = true; build = run_ablations };
+    { sec_name = "nodal"; dual = true; build = run_nodal };
+    { sec_name = "micro"; dual = false; build = run_micro };
+  ]
+
+let print_outcome o =
+  List.iter
+    (fun t -> T.print ~title:t.title ~header:t.header t.rows)
+    o.tables
+
+let mismatches = ref []
+
+let exec_section ~jobs ~full s =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t1, o1 = time (fun () -> Pool.with_jobs 1 (s.build ~full)) in
+  let tn, on, identical =
+    if s.dual && jobs > 1 then begin
+      let tn, on = time (fun () -> Pool.with_jobs jobs (s.build ~full)) in
+      (tn, on, signature o1 = signature on)
+    end
+    else (t1, o1, true)
+  in
+  print_outcome on;
+  if s.dual && jobs > 1 then
+    Printf.printf "[%s: %.2fs at 1 job, %.2fs at %d jobs, speedup %.2fx%s]\n%!"
+      s.sec_name t1 tn jobs
+      (if tn > 0.0 then t1 /. tn else 1.0)
+      (if identical then "" else "; RESULTS DIFFER")
+  else Printf.printf "[%s finished in %.2fs]\n%!" s.sec_name t1;
+  if not identical then mismatches := s.sec_name :: !mismatches;
+  J.Obj
+    [
+      ("name", J.String s.sec_name);
+      ("seconds_jobs1", J.Float t1);
+      ("seconds_jobsN", J.Float tn);
+      ("speedup", J.Float (if tn > 0.0 then t1 /. tn else 1.0));
+      ("dual_run", J.Bool (s.dual && jobs > 1));
+      ("identical", J.Bool identical);
+      ( "scalars",
+        J.Obj (List.map (fun (k, v) -> (k, J.Float v)) on.scalars) );
+    ]
+
+let usage () =
+  prerr_endline
+    "usage: bench [--full] [--jobs N] [--json FILE] [SECTION...]\n\
+     sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal micro";
+  exit 2
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let full = List.mem "--full" args in
-  let sections = List.filter (fun a -> a <> "--full") args in
-  let want s = sections = [] || List.mem s sections in
+  let full = ref false
+  and jobs = ref (Pool.default_jobs ())
+  and json_path = ref "BENCH_results.json"
+  and wanted = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+        full := true;
+        parse rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ -> usage ())
+    | "--json" :: path :: rest ->
+        json_path := path;
+        parse rest
+    | ("--help" | "-h") :: _ | ("--jobs" | "--json") :: [] -> usage ()
+    | s :: rest when List.exists (fun x -> x.sec_name = s) sections ->
+        wanted := s :: !wanted;
+        parse rest
+    | s :: _ ->
+        Printf.eprintf "bench: unknown section or flag %S\n" s;
+        usage ()
+  in
+  parse args;
+  let want s = !wanted = [] || List.mem s.sec_name !wanted in
   let t0 = Unix.gettimeofday () in
-  if want "table1" then run_table1 ();
-  if want "fig2" then run_fig2 ~full ();
-  if want "fig4" then run_fig4 ();
-  if want "fig5" then run_fig5 ();
-  if want "fig6" then run_fig6 ~full ();
-  if want "table2" then run_table2 ();
-  if want "table3" then run_table3 ();
-  if want "ablations" then run_ablations ();
-  if want "nodal" then run_nodal ();
-  if want "micro" then micro ();
-  Printf.printf "\n[total %.1fs]\n" (Unix.gettimeofday () -. t0)
+  let entries =
+    List.filter_map
+      (fun s ->
+        if want s then Some (exec_section ~jobs:!jobs ~full:!full s) else None)
+      sections
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\n[total %.1fs]\n" total;
+  J.write_file !json_path
+    (J.Obj
+       [
+         ("schema_version", J.Int 1);
+         ("jobs", J.Int !jobs);
+         ("full", J.Bool !full);
+         ("sections", J.List entries);
+         ("total_seconds", J.Float total);
+       ]);
+  Printf.printf "[wrote %s]\n" !json_path;
+  match !mismatches with
+  | [] -> ()
+  | ms ->
+      Printf.eprintf
+        "bench: results at %d jobs differ from sequential in: %s\n" !jobs
+        (String.concat ", " (List.rev ms));
+      exit 1

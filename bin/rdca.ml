@@ -7,7 +7,8 @@
      faultsim   gate-level fault-injection campaign vs input-error rates
      gen        generate a synthetic benchmark (.pla)
      estimate   analytical min-max reliability estimates vs exact bounds
-     suite      list the built-in Table 1 benchmark suite *)
+     suite      list the built-in Table 1 benchmark suite
+     bench      parallel-determinism smoke benchmark (JSON output, for CI) *)
 
 open Cmdliner
 module Flow = Rdca_flow.Flow
@@ -21,6 +22,23 @@ let with_spec input f =
   | Error e ->
       Fmt.epr "rdca: %s@." (Flow.error_to_string e);
       1
+
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel sections (overrides $(b,RDCA_JOBS); default: \
+     the machine's recommended domain count)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Validate and install --jobs before running [k]. *)
+let with_jobs_opt jobs k =
+  match jobs with
+  | Some n when n < 1 ->
+      Fmt.epr "rdca: --jobs must be at least 1@.";
+      1
+  | _ ->
+      Option.iter Parallel.Pool.set_default_jobs jobs;
+      k ()
 
 let input_arg =
   let doc =
@@ -41,7 +59,8 @@ let emit_spec out spec =
 (* ------------------------------------------------------------------ *)
 
 let stats_cmd =
-  let run input =
+  let run input jobs =
+    with_jobs_opt jobs @@ fun () ->
     with_spec input @@ fun spec ->
     let module B = Reliability.Borders in
     let module ER = Reliability.Error_rate in
@@ -61,7 +80,7 @@ let stats_cmd =
     0
   in
   let doc = "Print function statistics and exact reliability bounds" in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ input_arg)
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ input_arg $ jobs_arg)
 
 let strategy_args =
   let method_ =
@@ -145,7 +164,8 @@ let report_degradations r =
 
 let synth_cmd =
   let run input strategy mode verify factored shared blif_out verilog_out
-      max_cubes max_seconds =
+      max_cubes max_seconds jobs =
+    with_jobs_opt jobs @@ fun () ->
     with_spec input @@ fun spec ->
     let budget = { Flow.max_cubes; max_seconds } in
     let result =
@@ -209,13 +229,14 @@ let synth_cmd =
     Term.(
       const run $ input_arg $ strategy_args $ mode_arg $ verify $ factored
       $ shared $ blif_out $ verilog_out $ cube_budget_arg
-      $ espresso_seconds_arg)
+      $ espresso_seconds_arg $ jobs_arg)
 
 let faultsim_cmd =
   let module Campaign = Reliability.Campaign in
   let module Fault_sim = Reliability.Fault_sim in
   let run input strategy mode seed trials max_sites time_budget confidence
-      max_cubes max_seconds no_baseline =
+      max_cubes max_seconds no_baseline jobs =
+    with_jobs_opt jobs @@ fun () ->
     with_spec input @@ fun spec ->
     let bad_arg =
       if trials <= 0 then Some "--trials must be positive"
@@ -320,7 +341,7 @@ let faultsim_cmd =
     Term.(
       const run $ input_arg $ strategy_args $ mode_arg $ seed $ trials
       $ max_sites $ time_budget $ confidence $ cube_budget_arg
-      $ espresso_seconds_arg $ no_baseline)
+      $ espresso_seconds_arg $ no_baseline $ jobs_arg)
 
 let gen_cmd =
   let run ni no dc cf seed out =
@@ -351,7 +372,8 @@ let gen_cmd =
     Term.(const run $ ni $ no $ dc $ cf $ seed $ output_arg)
 
 let estimate_cmd =
-  let run input =
+  let run input jobs =
+    with_jobs_opt jobs @@ fun () ->
     with_spec input @@ fun spec ->
     let module ER = Reliability.Error_rate in
     let module Est = Reliability.Estimate in
@@ -364,7 +386,7 @@ let estimate_cmd =
     0
   in
   let doc = "Analytical min-max reliability estimates vs exact bounds" in
-  Cmd.v (Cmd.info "estimate" ~doc) Term.(const run $ input_arg)
+  Cmd.v (Cmd.info "estimate" ~doc) Term.(const run $ input_arg $ jobs_arg)
 
 let suite_cmd =
   let run () =
@@ -379,13 +401,91 @@ let suite_cmd =
   let doc = "List the built-in Table 1 benchmark suite" in
   Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ const ())
 
+(* A CI-sized smoke benchmark: Table 3 over three small suite
+   benchmarks, once sequentially and once at N jobs.  Writes the same
+   BENCH_results.json schema as bench/main.exe and fails (exit 1) if
+   the two runs disagree — the cheap end-to-end guard for the
+   determinism contract of the parallel layer. *)
+let bench_cmd =
+  let module Pool = Parallel.Pool in
+  let module E = Rdca_flow.Experiments in
+  let module J = Rdca_flow.Jsonout in
+  let run jobs json_path =
+    with_jobs_opt jobs @@ fun () ->
+    let names = [ "bench"; "fout"; "p3" ] in
+    let n_jobs = Pool.default_jobs () in
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (Unix.gettimeofday () -. t0, r)
+    in
+    let t1, r1 = time (fun () -> Pool.with_jobs 1 (fun () -> E.table3 ~names ())) in
+    let tn, rn =
+      if n_jobs > 1 then
+        time (fun () -> Pool.with_jobs n_jobs (fun () -> E.table3 ~names ()))
+      else (t1, r1)
+    in
+    let identical = r1 = rn in
+    let speedup = if tn > 0.0 then t1 /. tn else 1.0 in
+    List.iter
+      (fun r ->
+        Fmt.pr "%-8s gates %4d  conv rate %.4f  exact lo %.4f@." r.E.t3_name
+          r.E.t3_gates r.E.t3_conv_rate (fst r.E.t3_exact))
+      rn;
+    Fmt.pr "smoke-table3: %.2fs at 1 job, %.2fs at %d jobs, speedup %.2fx@." t1
+      tn n_jobs speedup;
+    J.write_file json_path
+      (J.Obj
+         [
+           ("schema_version", J.Int 1);
+           ("jobs", J.Int n_jobs);
+           ("full", J.Bool false);
+           ( "sections",
+             J.List
+               [
+                 J.Obj
+                   [
+                     ("name", J.String "smoke-table3");
+                     ("seconds_jobs1", J.Float t1);
+                     ("seconds_jobsN", J.Float tn);
+                     ("speedup", J.Float speedup);
+                     ("dual_run", J.Bool (n_jobs > 1));
+                     ("identical", J.Bool identical);
+                     ( "scalars",
+                       J.Obj
+                         (List.map
+                            (fun r ->
+                              (r.E.t3_name ^ "_conv_rate",
+                               J.Float r.E.t3_conv_rate))
+                            rn) );
+                   ];
+               ] );
+           ("total_seconds", J.Float (t1 +. tn));
+         ]);
+    Fmt.pr "wrote %s@." json_path;
+    if identical then 0
+    else begin
+      Fmt.epr "rdca: results at %d jobs differ from sequential@." n_jobs;
+      1
+    end
+  in
+  let json_path =
+    let doc = "Where to write the JSON results." in
+    Arg.(
+      value
+      & opt string "BENCH_results.json"
+      & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Parallel-determinism smoke benchmark (JSON output, for CI)" in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ jobs_arg $ json_path)
+
 let main =
   let doc = "Reliability-driven don't care assignment for logic synthesis" in
   let info = Cmd.info "rdca" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       stats_cmd; assign_cmd; synth_cmd; faultsim_cmd; gen_cmd; estimate_cmd;
-      suite_cmd;
+      suite_cmd; bench_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

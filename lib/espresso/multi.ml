@@ -239,7 +239,13 @@ let minimize ~n ~ons ~dcs =
       if not (Bv.disjoint on dcs.(o)) then
         invalid_arg "Multi.minimize: on/dc overlap")
     ons;
-  let offs = Array.mapi (fun o on -> Bv.complement (Bv.union on dcs.(o))) ons in
+  (* Per-output preprocessing is independent across outputs: off-sets
+     are built by a parallel map, and the coverage counts of the
+     initial cover are seeded output-by-output (each output owns the
+     disjoint [o * size, (o + 1) * size) segment of [counts]). *)
+  let offs =
+    Parallel.Pool.mapi (fun o on -> Bv.complement (Bv.union on dcs.(o))) ons
+  in
   let ctx = { n; no; size; ons; offs; counts = Array.make (no * size) 0 } in
   (* Initial cover: one cube per minterm that is ON somewhere, driving
      exactly the outputs where it is ON. *)
@@ -253,7 +259,16 @@ let minimize ~n ~ons ~dcs =
       initial := { input = Cube.of_minterm ~n m; outputs = !omask } :: !initial
   done;
   let initial = !initial in
-  List.iter (add_cube ctx) initial;
+  Parallel.Pool.for_ no (fun o ->
+      List.iter
+        (fun c ->
+          if c.outputs land (1 lsl o) <> 0 then
+            Cube.iter_minterms ~n
+              (fun m ->
+                let i = (o * size) + m in
+                ctx.counts.(i) <- ctx.counts.(i) + 1)
+              c.input)
+        initial);
   let f = expand ctx initial in
   let f = irredundant ctx f in
   let rec loop f best iters =

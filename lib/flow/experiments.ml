@@ -44,24 +44,33 @@ let default_fig2_targets =
   [ 0.05; 0.15; 0.25; 0.35; 0.45; 0.55; 0.65; 0.75; 0.85; 0.95 ]
 
 let fig2 ?(targets = default_fig2_targets) ?(per_target = 3) ~rng () =
-  List.concat_map
-    (fun target ->
-      List.init per_target (fun _ ->
-          let params =
-            Synthetic.Synth_gen.default_params ~ni:10 ~dc_frac:0.0
-              ~target_cf:(Some target)
-          in
-          let s = Synthetic.Synth_gen.output ~rng params in
-          let cover =
-            Espresso.Dense.minimize ~n:10 ~on:(Spec.on_bv s ~o:0)
-              ~dc:(Spec.dc_bv s ~o:0)
-          in
-          {
-            f2_target = target;
-            f2_measured_cf = Borders.complexity_factor s ~o:0;
-            f2_sop = Twolevel.Cover.size cover;
-          }))
-    targets
+  (* Generation consumes [rng] sequentially in the original order;
+     only the pure minimise-and-measure step fans out, so results are
+     independent of the job count (and identical to the sequential
+     code). *)
+  let tasks =
+    List.concat_map
+      (fun target ->
+        List.init per_target (fun _ ->
+            let params =
+              Synthetic.Synth_gen.default_params ~ni:10 ~dc_frac:0.0
+                ~target_cf:(Some target)
+            in
+            (target, Synthetic.Synth_gen.output ~rng params)))
+      targets
+  in
+  Parallel.Pool.map_list
+    (fun (target, s) ->
+      let cover =
+        Espresso.Dense.minimize ~n:10 ~on:(Spec.on_bv s ~o:0)
+          ~dc:(Spec.dc_bv s ~o:0)
+      in
+      {
+        f2_target = target;
+        f2_measured_cf = Borders.complexity_factor s ~o:0;
+        f2_sop = Twolevel.Cover.size cover;
+      })
+    tasks
 
 (* ------------------------------------------------------------------ *)
 (* Figures 4 and 5: the ranking-fraction sweep                          *)
@@ -89,28 +98,39 @@ let suite_specs ?names () =
 
 let sweep ?(fractions = default_fractions) ?names () =
   let lib = Techmap.Stdcell.default_library () in
-  List.map
-    (fun (e, spec) ->
-      let cells =
-        Array.map
-          (fun fraction ->
-            let partial = Flow.apply_strategy (Flow.Ranking fraction) spec in
-            let full, covers = Flow.implement partial in
-            let error = Flow.measured_error ~original:spec full in
-            let build mode =
-              let aig = Aig.of_covers ~ni:(Spec.ni spec) covers in
-              let aig = Aig.Opt.balance aig in
-              Report.of_netlist (Mapper.map ~mode ~lib aig)
-            in
-            {
-              sw_error = error;
-              sw_delay_mode = build Mapper.Delay;
-              sw_power_mode = build Mapper.Power;
-            })
-          fractions
-      in
-      { sw_name = e.Suite.name; sw_fractions = fractions; sw_cells = cells })
-    (suite_specs ?names ())
+  let specs = Array.of_list (suite_specs ?names ()) in
+  let nfr = Array.length fractions in
+  (* Flatten to (benchmark, fraction) cells: a finer grain than
+     per-benchmark fan-out, so a single slow benchmark doesn't leave
+     the other domains idle. *)
+  let cells =
+    Parallel.Pool.init
+      (Array.length specs * nfr)
+      (fun idx ->
+        let _, spec = specs.(idx / nfr) in
+        let fraction = fractions.(idx mod nfr) in
+        let partial = Flow.apply_strategy (Flow.Ranking fraction) spec in
+        let full, covers = Flow.implement partial in
+        let error = Flow.measured_error ~original:spec full in
+        let build mode =
+          let aig = Aig.of_covers ~ni:(Spec.ni spec) covers in
+          let aig = Aig.Opt.balance aig in
+          Report.of_netlist (Mapper.map ~mode ~lib aig)
+        in
+        {
+          sw_error = error;
+          sw_delay_mode = build Mapper.Delay;
+          sw_power_mode = build Mapper.Power;
+        })
+  in
+  List.mapi
+    (fun si (e, _) ->
+      {
+        sw_name = e.Suite.name;
+        sw_fractions = fractions;
+        sw_cells = Array.init nfr (fun fi -> cells.((si * nfr) + fi));
+      })
+    (Array.to_list specs)
 
 let fig4_of_sweep rows =
   List.map
@@ -185,36 +205,44 @@ let fig6 ?(families = [ 0.5; 0.6; 0.7; 0.8; 0.9 ]) ?(funcs_per_family = 2)
     ?(fractions = [ 0.0; 0.25; 0.5; 0.75; 1.0 ]) ?(ni = 11) ?(no = 11) ~rng ()
     =
   let lib = Techmap.Stdcell.default_library () in
-  List.map
-    (fun cf ->
-      let specs =
+  (* Specs are generated family-by-family with the shared [rng] before
+     any parallel work starts, so the random stream is consumed in the
+     same order as the sequential code and results match it exactly.
+     The per-function trajectories (the expensive part) then fan out
+     across all families at once. *)
+  let all_specs =
+    List.concat_map
+      (fun cf ->
         List.init funcs_per_family (fun _ ->
             let params =
               Synthetic.Synth_gen.default_params ~ni ~dc_frac:0.6
                 ~target_cf:(Some cf)
             in
-            Synthetic.Synth_gen.spec ~rng ~no params)
-      in
-      (* Per function, per fraction: (area, error); normalise per
-         function by its own fraction-0 corner; average at the end. *)
+            Synthetic.Synth_gen.spec ~rng ~no params))
+      families
+  in
+  (* Per function, per fraction: (area, error); normalise per
+     function by its own fraction-0 corner; average at the end. *)
+  let traj_of_spec spec =
+    List.map
+      (fun fraction ->
+        let partial = Flow.apply_strategy (Flow.Ranking fraction) spec in
+        let full, covers = Flow.implement partial in
+        let error = Flow.measured_error ~original:spec full in
+        let aig = Aig.of_covers ~ni:(Spec.ni spec) covers in
+        let aig = Aig.Opt.balance aig in
+        let rep = Report.of_netlist (Mapper.map ~mode:Mapper.Area ~lib aig) in
+        (rep.Report.area, error))
+      fractions
+  in
+  let all_trajs =
+    Array.of_list (Parallel.Pool.map_list traj_of_spec all_specs)
+  in
+  List.mapi
+    (fun fi cf ->
       let trajs =
-        List.map
-          (fun spec ->
-            List.map
-              (fun fraction ->
-                let partial =
-                  Flow.apply_strategy (Flow.Ranking fraction) spec
-                in
-                let full, covers = Flow.implement partial in
-                let error = Flow.measured_error ~original:spec full in
-                let aig = Aig.of_covers ~ni:(Spec.ni spec) covers in
-                let aig = Aig.Opt.balance aig in
-                let rep =
-                  Report.of_netlist (Mapper.map ~mode:Mapper.Area ~lib aig)
-                in
-                (rep.Report.area, error))
-              fractions)
-          specs
+        List.init funcs_per_family (fun j ->
+            all_trajs.((fi * funcs_per_family) + j))
       in
       let normed =
         List.map
@@ -265,7 +293,8 @@ let improvement base v = if base = 0.0 then 0.0 else 100.0 *. (base -. v) /. bas
 let table2 ?(threshold = 0.55) ?names () =
   let lib = Techmap.Stdcell.default_library () in
   let mode = Mapper.Area in
-  List.map
+  (* Rows are independent benchmarks: fan out one row per task. *)
+  Parallel.Pool.map_list
     (fun (e, spec) ->
       let run strategy = Flow.synthesize ~lib ~mode ~strategy spec in
       let conv = run Flow.Conventional in
@@ -314,7 +343,8 @@ type t3_row = {
 
 let table3 ?(threshold = 0.55) ?names () =
   let lib = Techmap.Stdcell.default_library () in
-  List.map
+  (* Rows are independent benchmarks: fan out one row per task. *)
+  Parallel.Pool.map_list
     (fun (e, spec) ->
       let b = ER.mean_bounds spec in
       let exact_lo = ER.min_rate b and exact_hi = ER.max_rate b in

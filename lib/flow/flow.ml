@@ -87,48 +87,61 @@ let implement spec = Assign.conventional spec
    minterm-level on-cover (every DC assigned off) and the degradation
    is reported instead of raised. *)
 let implement_budgeted ~budget spec =
-  let out = Spec.copy spec in
   let ni = Spec.ni spec in
+  let no = Spec.no spec in
   let t0 = Unix.gettimeofday () in
+  let minimise o =
+    let raw = Spec.on_cover spec ~o in
+    let over_cubes =
+      match budget.max_cubes with
+      | Some c -> Twolevel.Cover.size raw > c
+      | None -> false
+    in
+    let over_time =
+      match budget.max_seconds with
+      | Some s -> Unix.gettimeofday () -. t0 > s
+      | None -> false
+    in
+    if over_cubes || over_time then (raw, true)
+    else
+      let on = Spec.on_bv spec ~o and dc = Spec.dc_bv spec ~o in
+      (Espresso.Dense.minimize ~n:ni ~on ~dc, false)
+  in
+  (* Outputs minimise independently, so espresso runs as a parallel
+     map — except under a wall-clock budget, where the sequential scan
+     is kept so "outputs reached after the deadline" stays a
+     deterministic, order-defined notion. *)
+  let cells =
+    match budget.max_seconds with
+    | None -> Array.to_list (Parallel.Pool.init no minimise)
+    | Some _ -> List.init no minimise
+  in
+  (* DC assignment mutates the spec copy; done sequentially in output
+     order. *)
+  let out = Spec.copy spec in
   let degradations = ref [] in
   let covers =
-    List.init (Spec.no spec) (fun o ->
-        let raw = Spec.on_cover spec ~o in
-        let over_cubes =
-          match budget.max_cubes with
-          | Some c -> Twolevel.Cover.size raw > c
-          | None -> false
-        in
-        let over_time =
-          match budget.max_seconds with
-          | Some s -> Unix.gettimeofday () -. t0 > s
-          | None -> false
-        in
-        let cover =
-          if over_cubes || over_time then begin
-            degradations :=
-              Espresso_skipped { output = o; cubes = Twolevel.Cover.size raw }
-              :: !degradations;
-            raw
-          end
-          else
-            let on = Spec.on_bv spec ~o and dc = Spec.dc_bv spec ~o in
-            Espresso.Dense.minimize ~n:ni ~on ~dc
-        in
+    List.mapi
+      (fun o (cover, degraded) ->
+        if degraded then
+          degradations :=
+            Espresso_skipped { output = o; cubes = Twolevel.Cover.size cover }
+            :: !degradations;
         Spec.iter_dc spec ~o (fun m ->
             Spec.assign_dc out ~o ~m (Twolevel.Cover.eval cover m));
         cover)
+      cells
   in
   (out, covers, List.rev !degradations)
 
 let measured_error ~original assigned =
   let no = Spec.no original in
-  let total = ref 0.0 in
-  for o = 0 to no - 1 do
-    let impl = ER.impl_table assigned ~o in
-    total := !total +. ER.of_table original ~o ~impl
-  done;
-  !total /. float_of_int no
+  let rates =
+    Parallel.Pool.init no (fun o ->
+        let impl = ER.impl_table assigned ~o in
+        ER.of_table original ~o ~impl)
+  in
+  Array.fold_left ( +. ) 0.0 rates /. float_of_int no
 
 let build ?lib ?(factored = false) ~mode spec_assigned covers =
   let lib =
@@ -185,8 +198,8 @@ let synthesize_result ?lib ?factored ?budget ~mode ~strategy spec =
 
 let implement_shared spec =
   let ni = Spec.ni spec and no = Spec.no spec in
-  let ons = Array.init no (fun o -> Spec.on_bv spec ~o) in
-  let dcs = Array.init no (fun o -> Spec.dc_bv spec ~o) in
+  let ons = Parallel.Pool.init no (fun o -> Spec.on_bv spec ~o) in
+  let dcs = Parallel.Pool.init no (fun o -> Spec.dc_bv spec ~o) in
   let mcubes = Espresso.Multi.minimize ~n:ni ~ons ~dcs in
   let out = Spec.copy spec in
   for o = 0 to no - 1 do

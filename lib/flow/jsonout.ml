@@ -1,0 +1,80 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.17g" f in
+    (* "1" is a valid JSON number but keeps the field an integer for
+       strict readers; force a float-looking token. *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'n') s then s
+    else s ^ ".0"
+
+let rec emit b indent v =
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int x -> Buffer.add_string b (string_of_int x)
+  | Float x -> Buffer.add_string b (float_repr x)
+  | String s -> escape b s
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          emit b (indent + 2) x)
+        xs;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          escape b k;
+          Buffer.add_string b ": ";
+          emit b (indent + 2) x)
+        kvs;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let write_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string v))

@@ -1,0 +1,20 @@
+(** Minimal JSON emitter for machine-readable benchmark results.
+
+    Only what the bench harness needs: construction and serialisation,
+    no parsing.  Floats print with 17 significant digits so values
+    round-trip exactly; NaN and infinities (not representable in JSON)
+    become [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Serialise with two-space indentation and a trailing newline. *)
+
+val write_file : string -> t -> unit

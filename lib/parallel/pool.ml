@@ -1,0 +1,232 @@
+(* Work pool: [jobs - 1] worker domains block on a condition variable
+   until a batch of chunks is published; workers and the submitting
+   domain claim chunk indices under the mutex and run them unlocked.
+   The chunk -> index-range mapping is fixed up front, so scheduling
+   order never influences results — only the wall clock. *)
+
+type batch = {
+  run_chunk : int -> unit;
+  total : int;
+  mutable next : int; (* next unclaimed chunk *)
+  mutable live : int; (* chunks claimed but not yet finished *)
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* a batch arrived, or shutdown *)
+  finished : Condition.t; (* the batch in flight drained *)
+  mutable batch : batch option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* True inside a pool task: nested parallel operations fall back to
+   sequential execution instead of deadlocking on the shared pool. *)
+let in_task = Domain.DLS.new_key (fun () -> false)
+
+let jobs t = t.jobs
+
+(* Claim the next chunk of the batch in flight.  Caller holds the
+   mutex. *)
+let claim t =
+  match t.batch with
+  | Some b when b.next < b.total ->
+      let k = b.next in
+      b.next <- b.next + 1;
+      b.live <- b.live + 1;
+      Some (b, k)
+  | _ -> None
+
+(* Run a claimed chunk outside the lock; re-acquires the mutex before
+   returning.  On exception the first failure is recorded and the
+   unclaimed remainder of the batch is cancelled. *)
+let run_claimed t (b, k) =
+  Mutex.unlock t.mutex;
+  let failure =
+    match b.run_chunk k with
+    | () -> None
+    | exception e -> Some (e, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock t.mutex;
+  (match failure with
+  | None -> ()
+  | Some f ->
+      if b.failed = None then b.failed <- Some f;
+      b.next <- b.total);
+  b.live <- b.live - 1;
+  if b.live = 0 && b.next >= b.total then Condition.broadcast t.finished
+
+let worker t () =
+  Domain.DLS.set in_task true;
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.mutex
+    else
+      match claim t with
+      | Some c ->
+          run_claimed t c;
+          loop ()
+      | None ->
+          Condition.wait t.work t.mutex;
+          loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* Publish a batch, help run it, wait for it to drain, and re-raise
+   the first task failure. *)
+let run_batch t ~chunks run_chunk =
+  if chunks > 0 then begin
+    Mutex.lock t.mutex;
+    (* A second submitting domain queues here until the batch in
+       flight drains (single-region-at-a-time pool). *)
+    while t.batch <> None do
+      Condition.wait t.finished t.mutex
+    done;
+    let b = { run_chunk; total = chunks; next = 0; live = 0; failed = None } in
+    t.batch <- Some b;
+    Condition.broadcast t.work;
+    let was_in_task = Domain.DLS.get in_task in
+    Domain.DLS.set in_task true;
+    let rec help () =
+      match claim t with
+      | Some c ->
+          run_claimed t c;
+          help ()
+      | None -> ()
+    in
+    help ();
+    Domain.DLS.set in_task was_in_task;
+    while b.live > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.batch <- None;
+    Condition.broadcast t.finished;
+    Mutex.unlock t.mutex;
+    match b.failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Default (shared) pool.                                              *)
+
+let env_jobs () =
+  match Sys.getenv_opt "RDCA_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default = ref None
+
+let default_jobs () =
+  match !default with
+  | Some n -> n
+  | None ->
+      let n =
+        match env_jobs () with
+        | Some n -> n
+        | None -> max 1 (Domain.recommended_domain_count ())
+      in
+      default := Some n;
+      n
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  default := Some n
+
+let shared_pool = ref None
+let exit_hook_installed = ref false
+
+let shared () =
+  let jobs = default_jobs () in
+  match !shared_pool with
+  | Some t when t.jobs = jobs -> t
+  | prev ->
+      Option.iter shutdown prev;
+      let t = create ~jobs in
+      shared_pool := Some t;
+      if not !exit_hook_installed then begin
+        exit_hook_installed := true;
+        (* Workers parked in Condition.wait must be joined before the
+           runtime shuts down. *)
+        at_exit (fun () ->
+            Option.iter shutdown !shared_pool;
+            shared_pool := None)
+      end;
+      t
+
+let with_jobs j f =
+  if j < 1 then invalid_arg "Pool.with_jobs: jobs must be >= 1";
+  let saved = default_jobs () in
+  set_default_jobs j;
+  Fun.protect ~finally:(fun () -> set_default_jobs saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Chunked operations.                                                 *)
+
+let resolve = function Some t -> t | None -> shared ()
+let sequential t = t.jobs = 1 || Domain.DLS.get in_task
+
+let for_ ?pool ?(chunk = 1) n f =
+  if chunk < 1 then invalid_arg "Pool.for_: chunk must be >= 1";
+  if n > 0 then begin
+    let t = resolve pool in
+    if sequential t || n <= chunk then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else
+      let chunks = ((n - 1) / chunk) + 1 in
+      run_batch t ~chunks (fun k ->
+          let lo = k * chunk and hi = min n ((k + 1) * chunk) - 1 in
+          for i = lo to hi do
+            f i
+          done)
+  end
+
+let init ?pool ?chunk n f =
+  if n < 0 then invalid_arg "Pool.init: negative size";
+  if n = 0 then [||]
+  else begin
+    (* Option slots: each index is written exactly once, by whichever
+       domain owns its chunk. *)
+    let out = Array.make n None in
+    for_ ?pool ?chunk n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let mapi ?pool ?chunk f a =
+  init ?pool ?chunk (Array.length a) (fun i -> f i a.(i))
+
+let map ?pool ?chunk f a = init ?pool ?chunk (Array.length a) (fun i -> f a.(i))
+
+let map_list ?pool ?chunk f l =
+  Array.to_list (map ?pool ?chunk f (Array.of_list l))

@@ -1,0 +1,84 @@
+(** A small dependency-free work pool over [Domain] / [Mutex] /
+    [Condition].
+
+    The pool executes {e chunked} parallel regions: a region is split
+    into chunks with a fixed chunk -> index-range mapping, idle worker
+    domains (plus the submitting domain) claim chunks dynamically, and
+    every result is written to the slot of its own index.  Which
+    domain runs which chunk therefore never affects {e what} is
+    computed, only {e when} — callers that are pure per index get
+    bit-identical results at every job count.  Reductions (sums,
+    folds) are deliberately left to the caller so they can be done
+    sequentially in index order.
+
+    With [jobs = 1] no domains are spawned and every operation runs
+    sequentially in the calling domain, so single-job results are
+    identical to the pre-parallel code {e by construction}.  Parallel
+    operations invoked from inside a pool task (nested parallelism)
+    also run sequentially instead of deadlocking on the shared pool.
+
+    The default job count comes from the [RDCA_JOBS] environment
+    variable when set to a positive integer, otherwise from
+    [Domain.recommended_domain_count ()]; command-line [--jobs]
+    overrides both via {!set_default_jobs}. *)
+
+type t
+(** A pool of [jobs - 1] worker domains (the submitting domain is the
+    remaining worker).  A pool may only have one parallel region in
+    flight at a time; concurrent submitters queue. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Must not be
+    called while a region is in flight. *)
+
+val jobs : t -> int
+
+(** {1 Default (shared) pool} *)
+
+val default_jobs : unit -> int
+(** Current default job count: the last {!set_default_jobs} value,
+    else [RDCA_JOBS], else [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Override the default job count ([--jobs]).  The shared pool is
+    re-created lazily on the next parallel operation.
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val shared : unit -> t
+(** The process-wide pool at {!default_jobs} (re-created when the
+    default changes; shut down automatically at exit). *)
+
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** [with_jobs j f] runs [f] with the default job count set to [j],
+    restoring the previous default afterwards (also on exceptions).
+    Used by the differential tests and the bench harness to compare
+    job counts within one process. *)
+
+(** {1 Chunked parallel operations}
+
+    All operations take the work from index [0] to [n - 1], cut it
+    into chunks of [chunk] consecutive indices (default 1 — right for
+    the coarse tasks of this code base), and run the chunks on [pool]
+    (default {!shared}).  If a task raises, the first exception (in
+    completion order) is re-raised in the caller after the region
+    drains; remaining unclaimed chunks are cancelled. *)
+
+val for_ : ?pool:t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [for_ n f] runs [f 0 .. f (n-1)].  [f] must only write state
+    owned by its own index (e.g. disjoint array segments). *)
+
+val init : ?pool:t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. *)
+
+val map : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; result order matches input order. *)
+
+val mapi : ?pool:t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.mapi]. *)
+
+val map_list : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map]; result order matches input order. *)

@@ -80,10 +80,11 @@ let run ?(checkpoint = fun _ -> ()) config spec nl =
     invalid_arg "Campaign.run: trials_per_site must be positive";
   if config.kinds = [] then invalid_arg "Campaign.run: no fault kinds";
   let sites =
-    select_sites ~seed:config.seed ~max_sites:config.max_sites
-      (Inject.sites nl)
+    Array.of_list
+      (select_sites ~seed:config.seed ~max_sites:config.max_sites
+         (Inject.sites nl))
   in
-  let sites_total = List.length sites in
+  let sites_total = Array.length sites in
   let t0 = Unix.gettimeofday () in
   let results = ref [] in
   let sites_done = ref 0 in
@@ -98,48 +99,67 @@ let run ?(checkpoint = fun _ -> ()) config spec nl =
       elapsed = Unix.gettimeofday () -. t0;
     }
   in
+  (* One work item = one site (all its kinds).  Every (site, kind)
+     pair draws from an RNG derived from the master seed alone, so
+     evaluating sites concurrently cannot change any rate. *)
+  let eval_site site =
+    let gate = Netlist.Gate.name (Netlist.gate nl site) in
+    List.map
+      (fun kind ->
+        let rng = Random.State.make [| config.seed; site; kind_tag kind |] in
+        let r =
+          Inject.run ~rng ~trials:config.trials_per_site spec nl
+            { Inject.node = site; kind }
+        in
+        let events = r.Inject.trials * Spec.no spec in
+        let ci =
+          Stats.wilson_interval ~confidence:config.confidence ~trials:events
+            ~successes:r.Inject.propagated
+        in
+        {
+          site;
+          gate;
+          kind;
+          trials = r.Inject.trials;
+          events;
+          propagated = r.Inject.propagated;
+          rate = r.Inject.rate;
+          ci;
+        })
+      config.kinds
+  in
+  let pool = Parallel.Pool.shared () in
+  (* Sites are swept in blocks; the time budget is checked between
+     blocks.  The first block is a single site, so an undersized
+     budget still yields a valid one-site partial report; with one
+     job the block size stays 1 and the sweep degenerates to the
+     original per-site loop. *)
+  let block_size =
+    match Parallel.Pool.jobs pool with 1 -> 1 | j -> 2 * j
+  in
+  let idx = ref 0 in
   (try
-     List.iter
-       (fun site ->
-         (* Budget check between sites: the first site always runs, so
-            an undersized budget still yields a valid partial report. *)
-         (match config.time_budget with
-         | Some budget
-           when !sites_done > 0 && Unix.gettimeofday () -. t0 > budget ->
-             complete := false;
-             raise Exit
-         | _ -> ());
-         let gate = Netlist.Gate.name (Netlist.gate nl site) in
-         List.iter
-           (fun kind ->
-             let rng =
-               Random.State.make [| config.seed; site; kind_tag kind |]
-             in
-             let r =
-               Inject.run ~rng ~trials:config.trials_per_site spec nl
-                 { Inject.node = site; kind }
-             in
-             let events = r.Inject.trials * Spec.no spec in
-             let ci =
-               Stats.wilson_interval ~confidence:config.confidence
-                 ~trials:events ~successes:r.Inject.propagated
-             in
-             results :=
-               {
-                 site;
-                 gate;
-                 kind;
-                 trials = r.Inject.trials;
-                 events;
-                 propagated = r.Inject.propagated;
-                 rate = r.Inject.rate;
-                 ci;
-               }
-               :: !results)
-           config.kinds;
-         incr sites_done;
-         checkpoint (report ()))
-       sites
+     while !idx < sites_total do
+       (match config.time_budget with
+       | Some budget
+         when !idx > 0 && Unix.gettimeofday () -. t0 > budget ->
+           complete := false;
+           raise Exit
+       | _ -> ());
+       let len =
+         if !idx = 0 then 1 else min block_size (sites_total - !idx)
+       in
+       let block =
+         Parallel.Pool.map ~pool eval_site (Array.sub sites !idx len)
+       in
+       Array.iter
+         (fun site_results ->
+           List.iter (fun r -> results := r :: !results) site_results;
+           incr sites_done;
+           checkpoint (report ()))
+         block;
+       idx := !idx + len
+     done
    with Exit -> ());
   report ()
 

@@ -6,7 +6,10 @@
     its own RNG deterministically derived from the campaign seed, so
     results are reproducible and independent of how many sites the
     wall-clock budget allowed: cutting a campaign short changes which
-    sites are reported, never their rates.  Partial results are
+    sites are reported, never their rates.  The same RNG splitting
+    makes the sweep safe to parallelise: sites are evaluated in
+    blocks on the shared {!Parallel.Pool}, and reports are
+    bit-identical at every job count.  Partial results are
     checkpointed through a callback and the final report says whether
     the sweep completed. *)
 
@@ -21,8 +24,9 @@ type config = {
           subsample); [None] sweeps every site *)
   time_budget : float option;
       (** wall-clock seconds; when exceeded the sweep stops after the
-          current site and the report is marked incomplete.  At least
-          one site is always evaluated. *)
+          current block of sites (a single site with one job) and the
+          report is marked incomplete.  At least one site is always
+          evaluated. *)
 }
 
 (** [default_config] — seed 42, 1000 trials, 95% confidence, all

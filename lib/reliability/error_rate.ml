@@ -19,12 +19,17 @@ let of_table spec ~o ~impl =
   done;
   float_of_int !count /. events ~n
 
+(* Per-output rates are independent, so the mean is computed by a
+   parallel map over outputs followed by a sequential fold in output
+   order — the same summation order as a sequential loop, hence
+   bit-identical at every job count. *)
 let of_tables spec tables =
   if Array.length tables <> Spec.no spec then
     invalid_arg "Error_rate.of_tables: output count";
-  let total = ref 0.0 in
-  Array.iteri (fun o impl -> total := !total +. of_table spec ~o ~impl) tables;
-  !total /. float_of_int (Spec.no spec)
+  let rates =
+    Parallel.Pool.mapi (fun o impl -> of_table spec ~o ~impl) tables
+  in
+  Array.fold_left ( +. ) 0.0 rates /. float_of_int (Spec.no spec)
 
 let of_netlist spec nl =
   if Netlist.ni nl <> Spec.ni spec then
@@ -63,18 +68,20 @@ let bounds spec ~o =
 
 let mean_bounds spec =
   let no = Spec.no spec in
-  let acc = ref { base = 0.0; min_dc = 0.0; max_dc = 0.0 } in
-  for o = 0 to no - 1 do
-    let b = bounds spec ~o in
-    acc :=
-      {
-        base = !acc.base +. b.base;
-        min_dc = !acc.min_dc +. b.min_dc;
-        max_dc = !acc.max_dc +. b.max_dc;
-      }
-  done;
+  let per_output = Parallel.Pool.init no (fun o -> bounds spec ~o) in
+  let acc =
+    Array.fold_left
+      (fun acc b ->
+        {
+          base = acc.base +. b.base;
+          min_dc = acc.min_dc +. b.min_dc;
+          max_dc = acc.max_dc +. b.max_dc;
+        })
+      { base = 0.0; min_dc = 0.0; max_dc = 0.0 }
+      per_output
+  in
   let k = float_of_int no in
-  { base = !acc.base /. k; min_dc = !acc.min_dc /. k; max_dc = !acc.max_dc /. k }
+  { base = acc.base /. k; min_dc = acc.min_dc /. k; max_dc = acc.max_dc /. k }
 
 let min_rate b = b.base +. b.min_dc
 let max_rate b = b.base +. b.max_dc
@@ -128,8 +135,7 @@ let of_table_kbit spec ~o ~impl ~k =
 let of_tables_kbit spec tables ~k =
   if Array.length tables <> Spec.no spec then
     invalid_arg "Error_rate.of_tables_kbit";
-  let total = ref 0.0 in
-  Array.iteri
-    (fun o impl -> total := !total +. of_table_kbit spec ~o ~impl ~k)
-    tables;
-  !total /. float_of_int (Spec.no spec)
+  let rates =
+    Parallel.Pool.mapi (fun o impl -> of_table_kbit spec ~o ~impl ~k) tables
+  in
+  Array.fold_left ( +. ) 0.0 rates /. float_of_int (Spec.no spec)

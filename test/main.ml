@@ -17,6 +17,7 @@ let () =
       Test_reliability.suite;
       Test_inject.suite;
       Test_campaign.suite;
+      Test_parallel.suite;
       Test_synthetic.suite;
       Test_circuits.suite;
       Test_core.suite;

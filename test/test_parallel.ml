@@ -1,0 +1,208 @@
+(* The parallel work pool: unit tests of the chunked operations,
+   exception and nesting behaviour, plus differential tests pinning
+   the determinism contract — every parallelised hot path must produce
+   bit-identical results at every job count. *)
+
+module Pool = Parallel.Pool
+module Spec = Pla.Spec
+module Bv = Bitvec.Bv
+module ER = Reliability.Error_rate
+module Campaign = Reliability.Campaign
+module E = Rdca_flow.Experiments
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Run [f] under each job count and return the results in order. *)
+let at_jobs jobs f = List.map (fun j -> Pool.with_jobs j f) jobs
+
+let all_equal = function
+  | [] -> true
+  | x :: rest -> List.for_all (fun y -> y = x) rest
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests. *)
+
+let test_map_matches_sequential () =
+  let input = Array.init 100 (fun i -> i) in
+  let f x = (x * 37) mod 101 in
+  let expected = Array.map f input in
+  List.iter
+    (fun j ->
+      Pool.with_jobs j (fun () ->
+          check (Printf.sprintf "map at %d jobs" j) true
+            (Pool.map f input = expected)))
+    [ 1; 2; 3; 4 ]
+
+let test_chunk_sizes () =
+  let pool = Pool.create ~jobs:3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let expected = Array.init 23 (fun i -> i * i) in
+      for chunk = 1 to 9 do
+        check
+          (Printf.sprintf "chunk %d" chunk)
+          true
+          (Pool.init ~pool ~chunk 23 (fun i -> i * i) = expected)
+      done)
+
+let test_empty_and_singleton () =
+  Pool.with_jobs 4 (fun () ->
+      check "empty map" true (Pool.map (fun x -> x + 1) [||] = [||]);
+      check "empty init" true (Pool.init 0 (fun i -> i) = [||]);
+      check "empty map_list" true (Pool.map_list (fun x -> x) [] = []);
+      check "singleton" true (Pool.map_list string_of_int [ 7 ] = [ "7" ]))
+
+let test_exception_propagates () =
+  Pool.with_jobs 4 (fun () ->
+      match Pool.init 100 (fun i -> if i = 37 then failwith "boom" else i) with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Failure msg -> check "message" true (msg = "boom"));
+  (* The pool survives a failed region. *)
+  Pool.with_jobs 4 (fun () ->
+      check "usable after failure" true
+        (Pool.init 10 (fun i -> i) = Array.init 10 (fun i -> i)))
+
+let test_nested_runs_sequentially () =
+  Pool.with_jobs 4 (fun () ->
+      let expected = Array.init 8 (fun i -> Array.init 8 (fun j -> (i * 8) + j)) in
+      let got =
+        Pool.init 8 (fun i -> Pool.init 8 (fun j -> (i * 8) + j))
+      in
+      check "nested init" true (got = expected))
+
+let test_map_list_order () =
+  Pool.with_jobs 3 (fun () ->
+      let words = [ "the"; "order"; "must"; "match"; "the"; "input" ] in
+      check "order" true
+        (Pool.map_list String.uppercase_ascii words
+        = List.map String.uppercase_ascii words))
+
+let test_with_jobs_restores () =
+  let before = Pool.default_jobs () in
+  Pool.with_jobs (before + 3) (fun () ->
+      check_int "inside" (before + 3) (Pool.default_jobs ()));
+  check_int "restored" before (Pool.default_jobs ());
+  (match Pool.with_jobs (before + 1) (fun () -> failwith "x") with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure _ -> ());
+  check_int "restored after exception" before (Pool.default_jobs ())
+
+let test_validation () =
+  (match Pool.create ~jobs:0 with
+  | _ -> Alcotest.fail "create ~jobs:0 must raise"
+  | exception Invalid_argument _ -> ());
+  match Pool.set_default_jobs 0 with
+  | _ -> Alcotest.fail "set_default_jobs 0 must raise"
+  | exception Invalid_argument _ -> ()
+
+let prop_map_list_equivalence =
+  QCheck.Test.make ~name:"map_list equals List.map at any job count"
+    ~count:100
+    QCheck.(pair (small_list small_int) (int_range 1 4))
+    (fun (l, j) ->
+      Pool.with_jobs j (fun () ->
+          Pool.map_list (fun x -> (x * 2) - 1) l
+          = List.map (fun x -> (x * 2) - 1) l))
+
+(* ------------------------------------------------------------------ *)
+(* Differential tests: the parallelised hot paths at jobs 1, 2 and 4. *)
+
+let diff_jobs = [ 1; 2; 4 ]
+
+(* A deterministic multi-output spec with a mix of on/off/DC. *)
+let diff_spec () =
+  let s = Spec.create ~ni:5 ~no:3 ~default:Spec.Off in
+  let rng = Random.State.make [| 7 |] in
+  for o = 0 to 2 do
+    for m = 0 to 31 do
+      Spec.set s ~o ~m
+        (match Random.State.int rng 3 with
+        | 0 -> Spec.Off
+        | 1 -> Spec.On
+        | _ -> Spec.Dc)
+    done
+  done;
+  s
+
+let test_diff_of_tables () =
+  let s = diff_spec () in
+  let tables = Array.init 3 (fun o -> Spec.on_bv s ~o) in
+  check "of_tables identical across job counts" true
+    (all_equal (at_jobs diff_jobs (fun () -> ER.of_tables s tables)))
+
+let test_diff_mean_bounds () =
+  let s = diff_spec () in
+  check "mean_bounds identical across job counts" true
+    (all_equal (at_jobs diff_jobs (fun () -> ER.mean_bounds s)))
+
+(* The campaign fixture from test_campaign, kept small. *)
+let campaign_fixture () =
+  let nl = Netlist.create ~ni:3 in
+  let a = Netlist.add nl Netlist.Gate.And [| 0; 1 |] in
+  let x = Netlist.add nl Netlist.Gate.Xor [| a; 2 |] in
+  let n = Netlist.add nl Netlist.Gate.Nor [| a; 2 |] in
+  Netlist.set_outputs nl [| x; n |];
+  let s = Spec.create ~ni:3 ~no:2 ~default:Spec.Off in
+  for m = 0 to 7 do
+    let outs = Netlist.eval_minterm nl m in
+    for o = 0 to 1 do
+      Spec.set s ~o ~m (if outs.(o) then Spec.On else Spec.Off)
+    done
+  done;
+  Spec.set s ~o:0 ~m:5 Spec.Dc;
+  Spec.set s ~o:1 ~m:2 Spec.Dc;
+  (s, nl)
+
+let strip (r : Campaign.report) =
+  ( r.Campaign.results,
+    r.Campaign.sites_total,
+    r.Campaign.sites_done,
+    r.Campaign.complete )
+
+let test_diff_campaign () =
+  let s, nl = campaign_fixture () in
+  let config =
+    { Campaign.default_config with Campaign.trials_per_site = 200 }
+  in
+  check "campaign identical across job counts" true
+    (all_equal (at_jobs diff_jobs (fun () -> strip (Campaign.run config s nl))))
+
+let test_diff_multi_espresso () =
+  let s = diff_spec () in
+  let ons = Array.init 3 (fun o -> Spec.on_bv s ~o) in
+  let dcs = Array.init 3 (fun o -> Spec.dc_bv s ~o) in
+  check "multi-output espresso identical across job counts" true
+    (all_equal
+       (at_jobs diff_jobs (fun () -> Espresso.Multi.minimize ~n:5 ~ons ~dcs)))
+
+let test_diff_table3 () =
+  check "table3 rows identical across job counts" true
+    (all_equal (at_jobs diff_jobs (fun () -> E.table3 ~names:[ "bench" ] ())))
+
+let suite =
+  ( "parallel",
+    [
+      Alcotest.test_case "map matches sequential" `Quick
+        test_map_matches_sequential;
+      Alcotest.test_case "all chunk sizes agree" `Quick test_chunk_sizes;
+      Alcotest.test_case "empty and singleton inputs" `Quick
+        test_empty_and_singleton;
+      Alcotest.test_case "task exception propagates" `Quick
+        test_exception_propagates;
+      Alcotest.test_case "nested regions run sequentially" `Quick
+        test_nested_runs_sequentially;
+      Alcotest.test_case "map_list preserves order" `Quick test_map_list_order;
+      Alcotest.test_case "with_jobs restores the default" `Quick
+        test_with_jobs_restores;
+      Alcotest.test_case "job count validation" `Quick test_validation;
+      QCheck_alcotest.to_alcotest prop_map_list_equivalence;
+      Alcotest.test_case "diff: error-rate of_tables" `Quick
+        test_diff_of_tables;
+      Alcotest.test_case "diff: mean_bounds" `Quick test_diff_mean_bounds;
+      Alcotest.test_case "diff: fault campaign" `Quick test_diff_campaign;
+      Alcotest.test_case "diff: multi-output espresso" `Quick
+        test_diff_multi_espresso;
+      Alcotest.test_case "diff: table3 experiment" `Quick test_diff_table3;
+    ] )

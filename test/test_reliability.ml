@@ -512,3 +512,58 @@ let campaign_support_cases =
   ]
 
 let suite = (fst suite, snd suite @ campaign_support_cases)
+
+(* Aggregate (multi-output) bounds: the mean of any full DC assignment
+   must land inside the mean exact bounds, and those bounds must be
+   ordered — the invariants the parallelised [of_tables] and
+   [mean_bounds] aggregations rely on. *)
+
+let spec2_of_phases p0 p1 =
+  let s = Spec.create ~ni:4 ~no:2 ~default:Spec.Off in
+  let fill o phases =
+    List.iteri
+      (fun m p ->
+        Spec.set s ~o ~m
+          (match p with 0 -> Spec.Off | 1 -> Spec.On | _ -> Spec.Dc))
+      phases
+  in
+  fill 0 p0;
+  fill 1 p1;
+  s
+
+let prop_mean_min_le_max =
+  QCheck.Test.make ~name:"mean bounds: min_rate <= max_rate" ~count:200
+    QCheck.(pair (arb_phases 4) (arb_phases 4))
+    (fun (p0, p1) ->
+      let s = spec2_of_phases p0 p1 in
+      let b = ER.mean_bounds s in
+      ER.min_rate b <= ER.max_rate b +. 1e-12)
+
+let prop_mean_bounds_contain_of_tables =
+  QCheck.Test.make
+    ~name:"any multi-output assignment lands within mean bounds" ~count:200
+    QCheck.(pair (pair (arb_phases 4) (arb_phases 4)) (pair (int_bound 0xffff) (int_bound 0xffff)))
+    (fun ((p0, p1), (mask0, mask1)) ->
+      let s = spec2_of_phases p0 p1 in
+      let impl_of o mask =
+        let impl = Bv.create 16 in
+        for m = 0 to 15 do
+          match Spec.get s ~o ~m with
+          | Spec.On -> Bv.set impl m
+          | Spec.Off -> ()
+          | Spec.Dc -> if mask land (1 lsl m) <> 0 then Bv.set impl m
+        done;
+        impl
+      in
+      let tables = [| impl_of 0 mask0; impl_of 1 mask1 |] in
+      let r = ER.of_tables s tables in
+      let b = ER.mean_bounds s in
+      r >= ER.min_rate b -. 1e-12 && r <= ER.max_rate b +. 1e-12)
+
+let aggregate_bound_cases =
+  [
+    QCheck_alcotest.to_alcotest prop_mean_min_le_max;
+    QCheck_alcotest.to_alcotest prop_mean_bounds_contain_of_tables;
+  ]
+
+let suite = (fst suite, snd suite @ aggregate_bound_cases)
