@@ -1,10 +1,13 @@
 (* Benchmark harness: regenerates every table and figure of the
    paper's evaluation (printed as aligned text tables), then runs
-   bechamel micro-benchmarks of the core kernels.  Alongside the text
-   output it writes BENCH_results.json: per-section wall-clock at one
-   job and at N jobs, the speedup, whether the two runs produced
-   identical results, and a few key result scalars — a machine-checkable
-   regression record for CI.
+   bechamel micro-benchmarks of the core kernels.  Each section runs
+   three times — scalar engine, word-parallel kernel engine at one
+   job, kernel at N jobs — and the harness asserts all three produce
+   bit-identical results.  Alongside the text output it writes
+   BENCH_results.json: per-section wall-clock for each leg, the
+   engine and parallel speedups, the identical-results verdicts, and
+   a few key result scalars — a machine-checkable regression record
+   for CI.
 
    Usage:
      dune exec bench/main.exe                  # everything, laptop-scale
@@ -14,13 +17,14 @@
      dune exec bench/main.exe -- --json out.json
    Sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal micro
 
-   Exits non-zero if any section's parallel results differ from its
-   sequential results. *)
+   Exits non-zero if any section's kernel results differ from the
+   scalar oracle, or its parallel results differ from sequential. *)
 
 module E = Rdca_flow.Experiments
 module T = Rdca_flow.Tablefmt
 module J = Rdca_flow.Jsonout
 module Pool = Parallel.Pool
+module K = Bitvec.Bv.Kernel
 
 type table = { title : string; header : string list; rows : string list list }
 
@@ -108,17 +112,17 @@ let run_fig2 ~full () =
   }
 
 (* The fraction sweep feeds both fig4 and fig5; cache it per
-   (full, jobs) key — the laptop and --full grids differ, and the
-   harness deliberately re-runs each section at two job counts, so
-   either ingredient changing must invalidate the cache. *)
+   (full, jobs, engine) key — the laptop and --full grids differ, and
+   the harness deliberately re-runs each section per engine and job
+   count, so any ingredient changing must invalidate the cache. *)
 let sweep_fractions ~full =
   if full then Array.init 11 (fun i -> float_of_int i /. 10.0)
   else [| 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 |]
 
-let sweep_cache : ((bool * int) * E.sweep_row list) list ref = ref []
+let sweep_cache : ((bool * int * bool) * E.sweep_row list) list ref = ref []
 
 let get_sweep ~full () =
-  let key = (full, Pool.jobs (Pool.shared ())) in
+  let key = (full, Pool.jobs (Pool.shared ()), K.use ()) in
   match List.assoc_opt key !sweep_cache with
   | Some s -> s
   | None ->
@@ -534,8 +538,10 @@ let run_micro ~full:_ () =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Driver: run each requested section at one job and (when --jobs > 1)
-   again at N jobs, check the results match, and record both times. *)
+(* Driver: run each requested section three times — scalar engine at
+   one job, kernel engine at one job, and (when --jobs > 1) kernel at
+   N jobs — check all runs produce identical results, and record the
+   engine and parallel speedups. *)
 
 type section = {
   sec_name : string;
@@ -570,30 +576,56 @@ let exec_section ~jobs ~full s =
     let r = f () in
     (Unix.gettimeofday () -. t0, r)
   in
-  let t1, o1 = time (fun () -> Pool.with_jobs 1 (s.build ~full)) in
-  let tn, on, identical =
+  let run ~kernel ~jobs:j =
+    time (fun () -> Pool.with_jobs j (fun () -> K.with_mode kernel (s.build ~full)))
+  in
+  (* Leg 1: scalar oracle (timing-noise sections skip it). *)
+  let ts, os =
+    if s.dual then
+      let ts, os = run ~kernel:false ~jobs:1 in
+      (ts, Some os)
+    else (0.0, None)
+  in
+  (* Leg 2: word-parallel kernel, single-threaded. *)
+  let t1, o1 = run ~kernel:true ~jobs:1 in
+  let identical_engine =
+    match os with Some os -> signature os = signature o1 | None -> true
+  in
+  (* Leg 3: kernel at N worker domains. *)
+  let tn, on, identical_jobs =
     if s.dual && jobs > 1 then begin
-      let tn, on = time (fun () -> Pool.with_jobs jobs (s.build ~full)) in
+      let tn, on = run ~kernel:true ~jobs in
       (tn, on, signature o1 = signature on)
     end
     else (t1, o1, true)
   in
   print_outcome on;
-  if s.dual && jobs > 1 then
-    Printf.printf "[%s: %.2fs at 1 job, %.2fs at %d jobs, speedup %.2fx%s]\n%!"
-      s.sec_name t1 tn jobs
-      (if tn > 0.0 then t1 /. tn else 1.0)
-      (if identical then "" else "; RESULTS DIFFER")
+  let speedup_kernel = if s.dual && t1 > 0.0 then ts /. t1 else 1.0 in
+  let speedup_jobs = if tn > 0.0 then t1 /. tn else 1.0 in
+  if s.dual then
+    Printf.printf
+      "[%s: scalar %.2fs, kernel %.2fs (%.2fx)%s%s]\n%!" s.sec_name ts t1
+      speedup_kernel
+      (if jobs > 1 then
+         Printf.sprintf ", %.2fs at %d jobs (%.2fx)" tn jobs speedup_jobs
+       else "")
+      (if identical_engine && identical_jobs then ""
+       else "; RESULTS DIFFER")
   else Printf.printf "[%s finished in %.2fs]\n%!" s.sec_name t1;
-  if not identical then mismatches := s.sec_name :: !mismatches;
+  if not identical_engine then mismatches := (s.sec_name ^ " [engine]") :: !mismatches;
+  if not identical_jobs then mismatches := (s.sec_name ^ " [jobs]") :: !mismatches;
   J.Obj
     [
       ("name", J.String s.sec_name);
+      ("seconds_scalar", J.Float ts);
       ("seconds_jobs1", J.Float t1);
       ("seconds_jobsN", J.Float tn);
-      ("speedup", J.Float (if tn > 0.0 then t1 /. tn else 1.0));
+      ("speedup_kernel", J.Float speedup_kernel);
+      ("speedup", J.Float speedup_jobs);
+      ("scalar_run", J.Bool s.dual);
       ("dual_run", J.Bool (s.dual && jobs > 1));
-      ("identical", J.Bool identical);
+      ("identical_engine", J.Bool identical_engine);
+      ("identical", J.Bool identical_jobs);
       ( "scalars",
         J.Obj (List.map (fun (k, v) -> (k, J.Float v)) on.scalars) );
     ]
@@ -646,7 +678,7 @@ let () =
   J.write_file !json_path
     (J.Obj
        [
-         ("schema_version", J.Int 1);
+         ("schema_version", J.Int 2);
          ("jobs", J.Int !jobs);
          ("full", J.Bool !full);
          ("sections", J.List entries);
@@ -656,7 +688,6 @@ let () =
   match !mismatches with
   | [] -> ()
   | ms ->
-      Printf.eprintf
-        "bench: results at %d jobs differ from sequential in: %s\n" !jobs
+      Printf.eprintf "bench: scalar/kernel/parallel results differ in: %s\n"
         (String.concat ", " (List.rev ms));
       exit 1

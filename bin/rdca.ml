@@ -401,73 +401,131 @@ let suite_cmd =
   let doc = "List the built-in Table 1 benchmark suite" in
   Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ const ())
 
-(* A CI-sized smoke benchmark: Table 3 over three small suite
-   benchmarks, once sequentially and once at N jobs.  Writes the same
-   BENCH_results.json schema as bench/main.exe and fails (exit 1) if
-   the two runs disagree — the cheap end-to-end guard for the
-   determinism contract of the parallel layer. *)
+(* A CI-sized smoke benchmark.  Two sections:
+
+   - smoke-table3: Table 3 over three small suite benchmarks, run with
+     the scalar engine, the word-parallel kernel engine at one job,
+     and the kernel at N jobs — the end-to-end guard for both the
+     determinism contract of the parallel layer and the bit-identical
+     contract of the kernel engine.
+
+   - errbounds-ex1010: the error-rate/bounds inner loop on the largest
+     suite benchmark, repeated for stable timing, reporting the
+     single-threaded kernel-vs-scalar speedup (the headline number of
+     the word-parallel engine).
+
+   Writes the same BENCH_results.json schema as bench/main.exe and
+   fails (exit 1) if any pair of runs disagrees. *)
 let bench_cmd =
   let module Pool = Parallel.Pool in
   let module E = Rdca_flow.Experiments in
   let module J = Rdca_flow.Jsonout in
+  let module K = Bitvec.Bv.Kernel in
   let run jobs json_path =
     with_jobs_opt jobs @@ fun () ->
-    let names = [ "bench"; "fout"; "p3" ] in
     let n_jobs = Pool.default_jobs () in
     let time f =
       let t0 = Unix.gettimeofday () in
       let r = f () in
       (Unix.gettimeofday () -. t0, r)
     in
-    let t1, r1 = time (fun () -> Pool.with_jobs 1 (fun () -> E.table3 ~names ())) in
-    let tn, rn =
-      if n_jobs > 1 then
-        time (fun () -> Pool.with_jobs n_jobs (fun () -> E.table3 ~names ()))
-      else (t1, r1)
+    let mismatches = ref [] in
+    (* Triple-run a section body and render its JSON entry. *)
+    let triple ~name ~scalars work =
+      let leg ~kernel ~jobs:j =
+        time (fun () -> Pool.with_jobs j (fun () -> K.with_mode kernel work))
+      in
+      let ts, rs = leg ~kernel:false ~jobs:1 in
+      let t1, r1 = leg ~kernel:true ~jobs:1 in
+      let tn, rn =
+        if n_jobs > 1 then leg ~kernel:true ~jobs:n_jobs else (t1, r1)
+      in
+      let identical_engine = rs = r1 and identical_jobs = r1 = rn in
+      if not identical_engine then
+        mismatches := (name ^ " [engine]") :: !mismatches;
+      if not identical_jobs then mismatches := (name ^ " [jobs]") :: !mismatches;
+      let speedup_kernel = if t1 > 0.0 then ts /. t1 else 1.0 in
+      let speedup_jobs = if tn > 0.0 then t1 /. tn else 1.0 in
+      Fmt.pr
+        "%s: scalar %.2fs, kernel %.2fs (speedup %.2fx), %.2fs at %d jobs \
+         (speedup %.2fx)@."
+        name ts t1 speedup_kernel tn n_jobs speedup_jobs;
+      let entry =
+        J.Obj
+          [
+            ("name", J.String name);
+            ("seconds_scalar", J.Float ts);
+            ("seconds_jobs1", J.Float t1);
+            ("seconds_jobsN", J.Float tn);
+            ("speedup_kernel", J.Float speedup_kernel);
+            ("speedup", J.Float speedup_jobs);
+            ("scalar_run", J.Bool true);
+            ("dual_run", J.Bool (n_jobs > 1));
+            ("identical_engine", J.Bool identical_engine);
+            ("identical", J.Bool identical_jobs);
+            ("scalars", J.Obj (scalars rn));
+          ]
+      in
+      (entry, ts +. t1 +. tn, rn)
     in
-    let identical = r1 = rn in
-    let speedup = if tn > 0.0 then t1 /. tn else 1.0 in
+    let names = [ "bench"; "fout"; "p3" ] in
+    let table3_entry, table3_time, table3_rows =
+      triple ~name:"smoke-table3"
+        ~scalars:(fun rn ->
+          List.map
+            (fun r -> (r.E.t3_name ^ "_conv_rate", J.Float r.E.t3_conv_rate))
+            rn)
+        (fun () -> E.table3 ~names ())
+    in
     List.iter
       (fun r ->
         Fmt.pr "%-8s gates %4d  conv rate %.4f  exact lo %.4f@." r.E.t3_name
           r.E.t3_gates r.E.t3_conv_rate (fst r.E.t3_exact))
-      rn;
-    Fmt.pr "smoke-table3: %.2fs at 1 job, %.2fs at %d jobs, speedup %.2fx@." t1
-      tn n_jobs speedup;
+      table3_rows;
+    (* Error-rate/bounds inner loop on the largest suite benchmark;
+       repeated so the scalar leg is long enough to time reliably. *)
+    let spec = Synthetic.Suite.load_by_name "ex1010" in
+    let impls =
+      Array.init (Pla.Spec.no spec) (fun o -> Pla.Spec.on_bv spec ~o)
+    in
+    let repeats = 100 in
+    let errbounds_entry, errbounds_time, (eb_bounds, eb_rate) =
+      triple ~name:"errbounds-ex1010"
+        ~scalars:(fun (b, r) ->
+          [
+            ("min_rate", J.Float (Reliability.Error_rate.min_rate b));
+            ("max_rate", J.Float (Reliability.Error_rate.max_rate b));
+            ("mean_rate", J.Float r);
+          ])
+        (fun () ->
+          let b = ref Reliability.Error_rate.(mean_bounds spec) in
+          let r = ref 0.0 in
+          for _ = 2 to repeats do
+            b := Reliability.Error_rate.mean_bounds spec;
+            r := Reliability.Error_rate.of_tables spec impls
+          done;
+          (!b, !r))
+    in
+    Fmt.pr "errbounds-ex1010: mean bounds [%.4f, %.4f], mean rate %.4f@."
+      (Reliability.Error_rate.min_rate eb_bounds)
+      (Reliability.Error_rate.max_rate eb_bounds)
+      eb_rate;
     J.write_file json_path
       (J.Obj
          [
-           ("schema_version", J.Int 1);
+           ("schema_version", J.Int 2);
            ("jobs", J.Int n_jobs);
            ("full", J.Bool false);
-           ( "sections",
-             J.List
-               [
-                 J.Obj
-                   [
-                     ("name", J.String "smoke-table3");
-                     ("seconds_jobs1", J.Float t1);
-                     ("seconds_jobsN", J.Float tn);
-                     ("speedup", J.Float speedup);
-                     ("dual_run", J.Bool (n_jobs > 1));
-                     ("identical", J.Bool identical);
-                     ( "scalars",
-                       J.Obj
-                         (List.map
-                            (fun r ->
-                              (r.E.t3_name ^ "_conv_rate",
-                               J.Float r.E.t3_conv_rate))
-                            rn) );
-                   ];
-               ] );
-           ("total_seconds", J.Float (t1 +. tn));
+           ("sections", J.List [ table3_entry; errbounds_entry ]);
+           ("total_seconds", J.Float (table3_time +. errbounds_time));
          ]);
     Fmt.pr "wrote %s@." json_path;
-    if identical then 0
-    else begin
-      Fmt.epr "rdca: results at %d jobs differ from sequential@." n_jobs;
-      1
-    end
+    match !mismatches with
+    | [] -> 0
+    | ms ->
+        Fmt.epr "rdca: scalar/kernel/parallel results differ in: %s@."
+          (String.concat ", " (List.rev ms));
+        1
   in
   let json_path =
     let doc = "Where to write the JSON results." in

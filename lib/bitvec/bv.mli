@@ -26,6 +26,14 @@ val clear : t -> int -> unit
 (** [assign t i b] sets bit [i] to [b]. *)
 val assign : t -> int -> bool -> unit
 
+(** Unchecked accessors for hot scalar loops: the caller performs a
+    single range check at loop entry instead of one per bit.  Reading
+    or writing out of range is undefined behaviour. *)
+
+val unsafe_get : t -> int -> bool
+
+val unsafe_set : t -> int -> unit
+
 (** [copy t] is a fresh vector equal to [t]. *)
 val copy : t -> t
 
@@ -47,6 +55,7 @@ val equal : t -> t -> bool
 val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
+val logxor : t -> t -> t
 val complement : t -> t
 
 (** In-place variants storing the result in the first argument. *)
@@ -54,6 +63,7 @@ val complement : t -> t
 val union_in_place : t -> t -> unit
 val inter_in_place : t -> t -> unit
 val diff_in_place : t -> t -> unit
+val logxor_in_place : t -> t -> unit
 
 (** [subset a b] is [true] when every set bit of [a] is set in [b]. *)
 val subset : t -> t -> bool
@@ -81,3 +91,92 @@ val random : rng:Random.State.t -> int -> density:float -> t
 
 (** [pp] prints as a 0/1 string, bit 0 leftmost. *)
 val pp : Format.formatter -> t -> unit
+
+(** Word-parallel bit kernels over minterm-indexed vectors.
+
+    A vector of length [2^n] indexed by minterm encoding supports
+    1-Hamming-neighbour queries 63 minterms per word operation: the
+    permutation [m -> m xor 2^j] decomposes into two funnel shifts by
+    [2^j] plus a periodic index mask, and per-minterm neighbour counts
+    are kept {e bit-sliced} (one vector per binary digit of the count)
+    so n-way counting costs O(n log n) vector passes instead of
+    O(n 2^n) scalar probes.
+
+    Every consumer of these kernels keeps its scalar implementation as
+    a reference oracle; {!enabled} switches between the two engines and
+    the differential tests assert bit-identical results. *)
+module Kernel : sig
+  (** Engine toggle, [true] by default.  Flip only around sequential
+      sections (the bench harness' scalar runs); readers do not
+      synchronise. *)
+  val enabled : bool ref
+
+  (** [use ()] is [!enabled]. *)
+  val use : unit -> bool
+
+  (** [with_mode m f] runs [f] with [enabled := m], restoring the
+      previous engine afterwards (also on exceptions). *)
+  val with_mode : bool -> (unit -> 'a) -> 'a
+
+  (** [neighbor ~j t] is [r] with [r.(m) = t.(m lxor 2^j)].
+      @raise Invalid_argument unless [length t] is a positive multiple
+      of [2^(j+1)]. *)
+  val neighbor : j:int -> t -> t
+
+  (** [neighbor_diff ~j t] is [r] with
+      [r.(m) = t.(m) <> t.(m lxor 2^j)] — "does flipping input j
+      change the value" for every minterm at once. *)
+  val neighbor_diff : j:int -> t -> t
+
+  (** Fused popcounts of word-wise combinations, without
+      materialising the combined vector. *)
+
+  val popcount_and : t -> t -> int
+
+  val popcount_and3 : t -> t -> t -> int
+
+  val popcount_or : t -> t -> int
+
+  val popcount_xor : t -> t -> int
+
+  (** [popcount_and_masked a b ~mask] is
+      [cardinal (inter (inter a b) mask)] — one pass, no allocation. *)
+  val popcount_and_masked : t -> t -> mask:t -> int
+
+  (** {1 Bit-sliced per-index counters} *)
+
+  type counter
+
+  (** [counter_create ~len ~bits] is [len] zeroed counters, each able
+      to hold values below [2^bits]. *)
+  val counter_create : len:int -> bits:int -> counter
+
+  val counter_length : counter -> int
+
+  val counter_bits : counter -> int
+
+  (** [counter_add_bit c plane] adds the 0/1 [plane] to every counter.
+      @raise Invalid_argument on length mismatch or overflow. *)
+  val counter_add_bit : counter -> t -> unit
+
+  (** [counter_add c src] adds [src] into [c] index-wise.
+      @raise Invalid_argument on mismatch or overflow. *)
+  val counter_add : counter -> counter -> unit
+
+  (** [counter_neighbor ~j c] is the counter [m -> c.(m lxor 2^j)]. *)
+  val counter_neighbor : j:int -> counter -> counter
+
+  (** [counter_get c m] is the count at index [m]. *)
+  val counter_get : counter -> int -> int
+
+  (** [counter_extract c] is every count as a flat array. *)
+  val counter_extract : counter -> int array
+
+  (** [counter_weighted_sum c ~mask] is the exact integer
+      [sum over set bits m of mask of c.(m)]. *)
+  val counter_weighted_sum : counter -> mask:t -> int
+
+  (** [counter_abs_diff a b] is [(|a - b|, sign)] index-wise, where
+      [sign] has bit [m] set iff [b.(m) > a.(m)].  Widths must match. *)
+  val counter_abs_diff : counter -> counter -> counter * t
+end

@@ -6,16 +6,26 @@ let ranking ~fraction spec =
     invalid_arg "Assign.ranking: fraction must be in [0,1]";
   let out = Spec.copy spec in
   for o = 0 to Spec.no spec - 1 do
-    let ranked = Metrics.dc_ranking spec ~o in
+    (* One batched neighbour count serves both the ranking weights and
+       the majority phases of every minterm assigned below. *)
+    let on, off, _ = Spec.neighbour_counts_batch spec ~o in
+    let ranked = ref [] in
+    Spec.iter_dc spec ~o (fun m ->
+        let w = abs (on.(m) - off.(m)) in
+        if w <> 0 then ranked := (m, w) :: !ranked);
+    let ranked =
+      List.sort
+        (fun (m1, w1) (m2, w2) ->
+          match compare w2 w1 with 0 -> compare m1 m2 | c -> c)
+        !ranked
+    in
     let take =
       int_of_float (Float.round (fraction *. float_of_int (List.length ranked)))
     in
     List.iteri
       (fun i (m, _w) ->
-        if i < take then
-          match Metrics.majority_phase spec ~o ~m with
-          | Some v -> Spec.assign_dc out ~o ~m v
-          | None -> () (* zero-weight minterms never enter the list *))
+        (* non-zero weight means one phase strictly dominates *)
+        if i < take then Spec.assign_dc out ~o ~m (on.(m) > off.(m)))
       ranked
   done;
   out
@@ -23,14 +33,12 @@ let ranking ~fraction spec =
 let by_complexity ~threshold spec =
   let out = Spec.copy spec in
   for o = 0 to Spec.no spec - 1 do
+    let lcf = Metrics.local_complexity_factors spec ~o in
+    let on, off, _ = Spec.neighbour_counts_batch spec ~o in
     Spec.iter_dc spec ~o (fun m ->
-        if Metrics.local_complexity_factor spec ~o ~m < threshold then
-          let v =
-            match Metrics.majority_phase spec ~o ~m with
-            | Some v -> v
-            | None -> false (* Figure 7: else x <- 0 *)
-          in
-          Spec.assign_dc out ~o ~m v)
+        if lcf.(m) < threshold then
+          (* majority phase; ties assign to 0 (Figure 7: else x <- 0) *)
+          Spec.assign_dc out ~o ~m (on.(m) > off.(m)))
   done;
   out
 

@@ -12,11 +12,17 @@ let complexity_factor = Reliability.Borders.complexity_factor
 let mean_complexity_factor = Reliability.Borders.mean_complexity_factor
 let expected_complexity_factor = Reliability.Borders.expected_complexity_factor
 let local_complexity_factor = Reliability.Borders.local_complexity_factor
+let local_complexity_factors = Reliability.Borders.local_complexity_factors
 
+(* The weights come from one batched neighbour count over the whole
+   minterm space ([Spec.neighbour_counts_batch] dispatches to the
+   word-parallel kernel or the scalar sweep); {!weight} remains the
+   per-minterm oracle. *)
 let dc_ranking spec ~o =
+  let on, off, _ = Spec.neighbour_counts_batch spec ~o in
   let ranked = ref [] in
   Spec.iter_dc spec ~o (fun m ->
-      let w = weight spec ~o ~m in
+      let w = abs (on.(m) - off.(m)) in
       if w <> 0 then ranked := (m, w) :: !ranked);
   List.sort
     (fun (m1, w1) (m2, w2) ->

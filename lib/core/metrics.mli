@@ -23,8 +23,12 @@ val expected_complexity_factor : Pla.Spec.t -> o:int -> float
 
 val local_complexity_factor : Pla.Spec.t -> o:int -> m:int -> float
 
+val local_complexity_factors : Pla.Spec.t -> o:int -> float array
+
 (** [dc_ranking spec ~o] is the output's non-zero-weight DC minterms
     sorted by decreasing weight (ties by increasing minterm), exactly
-    the DC_List of the paper's Figure 3. *)
+    the DC_List of the paper's Figure 3.  Weights come from one
+    batched neighbour count ({!Pla.Spec.neighbour_counts_batch});
+    {!weight} is the per-minterm oracle. *)
 val dc_ranking : Pla.Spec.t -> o:int -> (int * int) list
 (** Each element is [(minterm, weight)]. *)

@@ -1,6 +1,16 @@
+module Bv = Bitvec.Bv
+
 type phase = On | Off | Dc
 
-type t = { ni : int; no : int; tables : Bytes.t array }
+type planes = { p_on : Bv.t; p_off : Bv.t; p_dc : Bv.t }
+
+type t = {
+  ni : int;
+  no : int;
+  tables : Bytes.t array;
+  cache : planes option array;  (** packed phase planes, per output *)
+  lock : Mutex.t;  (** guards [cache] rebuilds across domains *)
+}
 
 let phase_to_char = function Off -> '\000' | On -> '\001' | Dc -> '\002'
 
@@ -16,7 +26,7 @@ let create ~ni ~no ~default =
   let tables =
     Array.init no (fun _ -> Bytes.make len (phase_to_char default))
   in
-  { ni; no; tables }
+  { ni; no; tables; cache = Array.make no None; lock = Mutex.create () }
 
 let ni t = t.ni
 let no t = t.no
@@ -32,23 +42,76 @@ let get t ~o ~m =
 
 let set t ~o ~m p =
   check t ~o ~m;
-  Bytes.set t.tables.(o) m (phase_to_char p)
+  Bytes.set t.tables.(o) m (phase_to_char p);
+  t.cache.(o) <- None
 
 let assign_dc t ~o ~m v =
   if get t ~o ~m <> Dc then invalid_arg "Spec.assign_dc: minterm is not DC";
   set t ~o ~m (if v then On else Off)
 
-let copy t = { t with tables = Array.map Bytes.copy t.tables }
+let copy t =
+  {
+    ni = t.ni;
+    no = t.no;
+    tables = Array.map Bytes.copy t.tables;
+    cache = Array.make t.no None;
+    lock = Mutex.create ();
+  }
 
 let equal a b =
   a.ni = b.ni && a.no = b.no && Array.for_all2 Bytes.equal a.tables b.tables
 
-let count_phase t ~o p =
+(* Packed phase planes.  Built lazily from the byte table, one pass
+   per output, and invalidated by [set].  The lock keeps concurrent
+   readers (the parallel evaluation layer maps over outputs of a
+   shared spec) from racing on a rebuild; mutation during a parallel
+   region is already outside the contract. *)
+let build_planes t ~o =
+  let len = size t in
+  let p_on = Bv.create len
+  and p_off = Bv.create len
+  and p_dc = Bv.create len in
+  let table = t.tables.(o) in
+  for m = 0 to len - 1 do
+    match Bytes.unsafe_get table m with
+    | '\001' -> Bv.unsafe_set p_on m
+    | '\000' -> Bv.unsafe_set p_off m
+    | _ -> Bv.unsafe_set p_dc m
+  done;
+  { p_on; p_off; p_dc }
+
+let planes t ~o =
+  if o < 0 || o >= t.no then invalid_arg "Spec: output out of range";
+  Mutex.lock t.lock;
+  let p =
+    match t.cache.(o) with
+    | Some p -> p
+    | None ->
+        let p = build_planes t ~o in
+        t.cache.(o) <- Some p;
+        p
+  in
+  Mutex.unlock t.lock;
+  p
+
+let phase_planes t ~o =
+  let p = planes t ~o in
+  (p.p_on, p.p_off, p.p_dc)
+
+let count_phase_scalar t ~o p =
   let c = phase_to_char p in
   let table = t.tables.(o) in
   let acc = ref 0 in
   Bytes.iter (fun ch -> if ch = c then incr acc) table;
   !acc
+
+let count_phase t ~o p =
+  if o < 0 || o >= t.no then invalid_arg "Spec: output out of range";
+  if Bv.Kernel.use () then
+    let pl = planes t ~o in
+    Bv.cardinal
+      (match p with On -> pl.p_on | Off -> pl.p_off | Dc -> pl.p_dc)
+  else count_phase_scalar t ~o p
 
 let on_count t ~o = count_phase t ~o On
 let off_count t ~o = count_phase t ~o Off
@@ -81,10 +144,15 @@ let iter_dc t ~o f =
   Bytes.iteri (fun m c -> if c = dc then f m) t.tables.(o)
 
 let phase_bv t ~o p =
-  let c = phase_to_char p in
-  let bv = Bitvec.Bv.create (size t) in
-  Bytes.iteri (fun m ch -> if ch = c then Bitvec.Bv.set bv m) t.tables.(o);
-  bv
+  if Bv.Kernel.use () then
+    let pl = planes t ~o in
+    Bv.copy (match p with On -> pl.p_on | Off -> pl.p_off | Dc -> pl.p_dc)
+  else begin
+    let c = phase_to_char p in
+    let bv = Bv.create (size t) in
+    Bytes.iteri (fun m ch -> if ch = c then Bv.set bv m) t.tables.(o);
+    bv
+  end
 
 let on_bv t ~o = phase_bv t ~o On
 let off_bv t ~o = phase_bv t ~o Off
@@ -130,6 +198,40 @@ let neighbour_counts t ~o ~m =
     | Dc -> incr dc
   done;
   (!on, !off, !dc)
+
+(* Per-minterm neighbour counts for the whole 2^n space at once.
+   Kernel engine: n bit-sliced additions of permuted phase planes —
+   O(n log n) vector passes instead of O(n 2^n) byte probes.  DC
+   counts follow from on + off + dc = n. *)
+let neighbour_counts_batch t ~o =
+  if o < 0 || o >= t.no then invalid_arg "Spec: output out of range";
+  let len = size t in
+  if Bv.Kernel.use () && t.ni > 0 then begin
+    let module K = Bv.Kernel in
+    let pl = planes t ~o in
+    let bits = 5 (* counts <= ni <= 20 < 32 *) in
+    let on_c = K.counter_create ~len ~bits
+    and off_c = K.counter_create ~len ~bits in
+    for j = 0 to t.ni - 1 do
+      K.counter_add_bit on_c (K.neighbor ~j pl.p_on);
+      K.counter_add_bit off_c (K.neighbor ~j pl.p_off)
+    done;
+    let on = K.counter_extract on_c and off = K.counter_extract off_c in
+    let dc = Array.init len (fun m -> t.ni - on.(m) - off.(m)) in
+    (on, off, dc)
+  end
+  else begin
+    let on = Array.make len 0
+    and off = Array.make len 0
+    and dc = Array.make len 0 in
+    for m = 0 to len - 1 do
+      let o_, f_, d_ = neighbour_counts t ~o ~m in
+      on.(m) <- o_;
+      off.(m) <- f_;
+      dc.(m) <- d_
+    done;
+    (on, off, dc)
+  end
 
 let on_neighbours t ~o ~m =
   let on, _, _ = neighbour_counts t ~o ~m in

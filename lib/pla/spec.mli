@@ -42,7 +42,11 @@ val copy : t -> t
 (** [equal a b] is structural equality of dimensions and phases. *)
 val equal : t -> t -> bool
 
-(** Phase counts for output [o]. *)
+(** Phase counts for output [o].  With the kernel engine enabled these
+    are popcounts of the cached phase planes; the scalar engine scans
+    the byte table (the original behaviour, kept as oracle). *)
+
+val count_phase : t -> o:int -> phase -> int
 
 val on_count : t -> o:int -> int
 
@@ -64,13 +68,21 @@ val is_fully_specified : t -> bool
 (** [iter_dc t ~o f] applies [f] to every DC minterm of output [o]. *)
 val iter_dc : t -> o:int -> (int -> unit) -> unit
 
-(** Per-output set extraction. *)
+(** Per-output set extraction.  Each call returns a fresh vector the
+    caller may mutate freely. *)
 
 val on_bv : t -> o:int -> Bitvec.Bv.t
 
 val off_bv : t -> o:int -> Bitvec.Bv.t
 
 val dc_bv : t -> o:int -> Bitvec.Bv.t
+
+(** [phase_planes t ~o] is the cached packed [(on, off, dc)] planes of
+    output [o], built on first use and invalidated by {!set} /
+    {!assign_dc}.  The vectors are {e borrowed}: treat them as
+    read-only — they are shared with every other caller and with the
+    word-parallel kernels. *)
+val phase_planes : t -> o:int -> Bitvec.Bv.t * Bitvec.Bv.t * Bitvec.Bv.t
 
 (** [on_cover t ~o] ([dc_cover t ~o]) is the minterm-level cover of the
     on-set (DC-set) of output [o]; a starting point for minimisation. *)
@@ -96,6 +108,12 @@ val dc_neighbours : t -> o:int -> m:int -> int
 
 (** [neighbour_counts t ~o ~m] is [(on, off, dc)] in one pass. *)
 val neighbour_counts : t -> o:int -> m:int -> int * int * int
+
+(** [neighbour_counts_batch t ~o] is the per-minterm [(on, off, dc)]
+    neighbour counts for the whole [2^ni] space at once — bit-sliced
+    word-parallel counting under the kernel engine, a scalar
+    {!neighbour_counts} sweep otherwise (the oracle). *)
+val neighbour_counts_batch : t -> o:int -> int array * int array * int array
 
 (** [output_value t ~o ~m] is the implementation value of a *fully
     specified* output: [On] -> true, [Off] -> false.

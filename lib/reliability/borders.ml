@@ -1,8 +1,12 @@
 module Spec = Pla.Spec
+module Bv = Bitvec.Bv
+module K = Bv.Kernel
 
 let ordered_pairs spec = Spec.ni spec * Spec.size spec
 
-let same_phase_pairs spec ~o =
+(* Scalar engine, kept as the reference oracle for the word-parallel
+   kernels below. *)
+let same_phase_pairs_scalar spec ~o =
   let n = Spec.ni spec in
   let count = ref 0 in
   for m = 0 to Spec.size spec - 1 do
@@ -12,6 +16,27 @@ let same_phase_pairs spec ~o =
     done
   done;
   !count
+
+(* Per-phase same-phase pair counts: for each phase plane P,
+   sum over j of |P /\ N_j P| — the quantity shared by
+   [same_phase_pairs] and [border_counts]. *)
+let same_counts_kernel spec ~o =
+  let n = Spec.ni spec in
+  let on, off, dc = Spec.phase_planes spec ~o in
+  let s_on = ref 0 and s_off = ref 0 and s_dc = ref 0 in
+  for j = 0 to n - 1 do
+    s_on := !s_on + K.popcount_and (K.neighbor ~j on) on;
+    s_off := !s_off + K.popcount_and (K.neighbor ~j off) off;
+    s_dc := !s_dc + K.popcount_and (K.neighbor ~j dc) dc
+  done;
+  (!s_on, !s_off, !s_dc)
+
+let same_phase_pairs spec ~o =
+  if K.use () then begin
+    let s_on, s_off, s_dc = same_counts_kernel spec ~o in
+    s_on + s_off + s_dc
+  end
+  else same_phase_pairs_scalar spec ~o
 
 let complexity_factor spec ~o =
   float_of_int (same_phase_pairs spec ~o) /. float_of_int (ordered_pairs spec)
@@ -35,22 +60,64 @@ let mean_expected_complexity_factor spec =
 
 let local_complexity_factor spec ~o ~m =
   let n = Spec.ni spec in
-  let count = ref 0 in
-  for j = 0 to n - 1 do
-    let xj = m lxor (1 lsl j) in
-    let pj = Spec.get spec ~o ~m:xj in
-    (* x_k ranges over all n neighbours of x_j — including m itself
-       (flipping bit j again), which the paper's definition admits. *)
-    for k = 0 to n - 1 do
-      let xk = xj lxor (1 lsl k) in
-      if Spec.get spec ~o ~m:xk = pj then incr count
-    done
+  if n = 0 then begin
+    ignore (Spec.get spec ~o ~m : Spec.phase) (* range check only *);
+    1.0 (* a 0-input function is constant, hence trivially regular *)
+  end
+  else begin
+    let count = ref 0 in
+    for j = 0 to n - 1 do
+      let xj = m lxor (1 lsl j) in
+      let pj = Spec.get spec ~o ~m:xj in
+      (* x_k ranges over all n neighbours of x_j — including m itself
+         (flipping bit j again), which the paper's definition admits. *)
+      for k = 0 to n - 1 do
+        let xk = xj lxor (1 lsl k) in
+        if Spec.get spec ~o ~m:xk = pj then incr count
+      done
+    done;
+    float_of_int !count /. float_of_int (n * n)
+  end
+
+(* Whole-space LC^f.  Writing S(x) for the number of neighbours of x
+   sharing x's phase, the paper's double sum collapses to
+     LC^f(m) = (1/n^2) * sum over j of S(m lxor 2^j):
+   build S once as a bit-sliced counter (n fused plane operations),
+   then accumulate its n neighbour permutations into a wider counter.
+   Integer arithmetic throughout, so bit-identical to the scalar
+   oracle sweep. *)
+let local_complexity_factors_kernel spec ~o =
+  let n = Spec.ni spec in
+  let len = Spec.size spec in
+  let on, off, dc = Spec.phase_planes spec ~o in
+  let s = K.counter_create ~len ~bits:5 (* S <= n <= 20 < 32 *) in
+  for k = 0 to n - 1 do
+    let same = Bv.inter on (K.neighbor ~j:k on) in
+    Bv.union_in_place same (Bv.inter off (K.neighbor ~j:k off));
+    Bv.union_in_place same (Bv.inter dc (K.neighbor ~j:k dc));
+    K.counter_add_bit s same
   done;
-  float_of_int !count /. float_of_int (n * n)
+  let t = K.counter_create ~len ~bits:9 (* T <= n^2 <= 400 < 512 *) in
+  for j = 0 to n - 1 do
+    K.counter_add t (K.counter_neighbor ~j s)
+  done;
+  let sums = K.counter_extract t in
+  let nn = float_of_int (n * n) in
+  Array.map (fun c -> float_of_int c /. nn) sums
+
+let local_complexity_factors spec ~o =
+  let n = Spec.ni spec in
+  if n = 0 then begin
+    if o < 0 || o >= Spec.no spec then invalid_arg "Spec: output out of range";
+    [| 1.0 |]
+  end
+  else if K.use () then local_complexity_factors_kernel spec ~o
+  else
+    Array.init (Spec.size spec) (fun m -> local_complexity_factor spec ~o ~m)
 
 type counts = { b0 : int; b1 : int; bdc : int }
 
-let border_counts spec ~o =
+let border_counts_scalar spec ~o =
   let n = Spec.ni spec in
   let b0 = ref 0 and b1 = ref 0 and bdc = ref 0 in
   for m = 0 to Spec.size spec - 1 do
@@ -65,3 +132,18 @@ let border_counts spec ~o =
     done
   done;
   { b0 = !b0; b1 = !b1; bdc = !bdc }
+
+(* Each minterm of a phase set has n neighbours; those not in the same
+   set are exactly the border pairs, so b_P = n*|P| - same_P. *)
+let border_counts spec ~o =
+  if K.use () then begin
+    let n = Spec.ni spec in
+    let on, off, dc = Spec.phase_planes spec ~o in
+    let s_on, s_off, s_dc = same_counts_kernel spec ~o in
+    {
+      b0 = (n * Bv.cardinal off) - s_off;
+      b1 = (n * Bv.cardinal on) - s_on;
+      bdc = (n * Bv.cardinal dc) - s_dc;
+    }
+  end
+  else border_counts_scalar spec ~o

@@ -1,9 +1,17 @@
 module Spec = Pla.Spec
 module Bv = Bitvec.Bv
+module K = Bv.Kernel
 
 let events ~n = float_of_int (n * (1 lsl n))
 
-let of_table spec ~o ~impl =
+(* An [ni = 0] spec has no inputs to flip, hence no error events at
+   all; the rate of an empty event space is 0, not 0/0. *)
+let rate ~n count = if n = 0 then 0.0 else float_of_int count /. events ~n
+
+(* Scalar engine, kept as the reference oracle for the word-parallel
+   kernel below.  The single range check at entry licenses the
+   unchecked bit reads in the loop. *)
+let of_table_scalar spec ~o ~impl =
   let n = Spec.ni spec in
   let size = Spec.size spec in
   if Bv.length impl <> size then invalid_arg "Error_rate.of_table: length";
@@ -12,12 +20,34 @@ let of_table spec ~o ~impl =
     match Spec.get spec ~o ~m with
     | Spec.Dc -> () (* errors cannot originate in the DC space *)
     | Spec.On | Spec.Off ->
-        let v = Bv.get impl m in
+        let v = Bv.unsafe_get impl m in
         for j = 0 to n - 1 do
-          if Bv.get impl (m lxor (1 lsl j)) <> v then incr count
+          if Bv.unsafe_get impl (m lxor (1 lsl j)) <> v then incr count
         done
   done;
-  float_of_int !count /. events ~n
+  rate ~n !count
+
+(* Word-parallel engine: an event (m, j) propagates iff bit m of
+   [neighbor_diff ~j impl] is set, so the per-output count is n fused
+   popcounts over the care set. *)
+let of_table_kernel spec ~o ~impl =
+  let n = Spec.ni spec in
+  if Bv.length impl <> Spec.size spec then
+    invalid_arg "Error_rate.of_table: length";
+  if n = 0 then 0.0
+  else begin
+    let _, _, dc = Spec.phase_planes spec ~o in
+    let care = Bv.complement dc in
+    let count = ref 0 in
+    for j = 0 to n - 1 do
+      count := !count + K.popcount_and (K.neighbor_diff ~j impl) care
+    done;
+    rate ~n !count
+  end
+
+let of_table spec ~o ~impl =
+  if K.use () then of_table_kernel spec ~o ~impl
+  else of_table_scalar spec ~o ~impl
 
 (* Per-output rates are independent, so the mean is computed by a
    parallel map over outputs followed by a sequential fold in output
@@ -38,33 +68,78 @@ let of_netlist spec nl =
 
 type bounds = { base : float; min_dc : float; max_dc : float }
 
-let bounds spec ~o =
+let zero_bounds = { base = 0.0; min_dc = 0.0; max_dc = 0.0 }
+
+let bounds_scalar spec ~o =
   let n = Spec.ni spec in
   let size = Spec.size spec in
-  let base = ref 0 and min_dc = ref 0 and max_dc = ref 0 in
-  for m = 0 to size - 1 do
-    match Spec.get spec ~o ~m with
-    | Spec.On | Spec.Off ->
-        (* Count care->care opposite-phase transitions; both directions
-           appear because we visit both endpoints. *)
-        let my = Spec.get spec ~o ~m in
-        for j = 0 to n - 1 do
-          let m' = m lxor (1 lsl j) in
-          match Spec.get spec ~o ~m:m' with
-          | Spec.Dc -> ()
-          | p -> if p <> my then incr base
-        done
-    | Spec.Dc ->
-        let on, off, _ = Spec.neighbour_counts spec ~o ~m in
-        min_dc := !min_dc + min on off;
-        max_dc := !max_dc + max on off
-  done;
-  let ev = events ~n in
-  {
-    base = float_of_int !base /. ev;
-    min_dc = float_of_int !min_dc /. ev;
-    max_dc = float_of_int !max_dc /. ev;
-  }
+  if n = 0 then zero_bounds
+  else begin
+    let base = ref 0 and min_dc = ref 0 and max_dc = ref 0 in
+    for m = 0 to size - 1 do
+      match Spec.get spec ~o ~m with
+      | Spec.On | Spec.Off ->
+          (* Count care->care opposite-phase transitions; both directions
+             appear because we visit both endpoints. *)
+          let my = Spec.get spec ~o ~m in
+          for j = 0 to n - 1 do
+            let m' = m lxor (1 lsl j) in
+            match Spec.get spec ~o ~m:m' with
+            | Spec.Dc -> ()
+            | p -> if p <> my then incr base
+          done
+      | Spec.Dc ->
+          let on, off, _ = Spec.neighbour_counts spec ~o ~m in
+          min_dc := !min_dc + min on off;
+          max_dc := !max_dc + max on off
+    done;
+    let ev = events ~n in
+    {
+      base = float_of_int !base /. ev;
+      min_dc = float_of_int !min_dc /. ev;
+      max_dc = float_of_int !max_dc /. ev;
+    }
+  end
+
+(* Word-parallel bounds.  The base term pairs an on-minterm with an
+   off-neighbour (both directions, like the scalar loop).  The DC
+   terms need per-minterm neighbour counts: with bit-sliced counters,
+     sum over DC of min(on, off) = (S - A) / 2
+     sum over DC of max(on, off) = (S + A) / 2
+   where S sums on + off and A sums |on - off| over the DC set — all
+   exact integer arithmetic, so the result is bit-identical to the
+   scalar oracle. *)
+let bounds_kernel spec ~o =
+  let n = Spec.ni spec in
+  if n = 0 then zero_bounds
+  else begin
+    let on, off, dc = Spec.phase_planes spec ~o in
+    let len = Spec.size spec in
+    let base = ref 0 in
+    let on_c = K.counter_create ~len ~bits:5
+    and off_c = K.counter_create ~len ~bits:5 in
+    for j = 0 to n - 1 do
+      let n_on = K.neighbor ~j on and n_off = K.neighbor ~j off in
+      base := !base + K.popcount_and on n_off + K.popcount_and off n_on;
+      K.counter_add_bit on_c n_on;
+      K.counter_add_bit off_c n_off
+    done;
+    let s =
+      K.counter_weighted_sum on_c ~mask:dc
+      + K.counter_weighted_sum off_c ~mask:dc
+    in
+    let abs_c, _sign = K.counter_abs_diff on_c off_c in
+    let a = K.counter_weighted_sum abs_c ~mask:dc in
+    let ev = events ~n in
+    {
+      base = float_of_int !base /. ev;
+      min_dc = float_of_int ((s - a) / 2) /. ev;
+      max_dc = float_of_int ((s + a) / 2) /. ev;
+    }
+  end
+
+let bounds spec ~o =
+  if K.use () then bounds_kernel spec ~o else bounds_scalar spec ~o
 
 let mean_bounds spec =
   let no = Spec.no spec in
@@ -77,8 +152,7 @@ let mean_bounds spec =
           min_dc = acc.min_dc +. b.min_dc;
           max_dc = acc.max_dc +. b.max_dc;
         })
-      { base = 0.0; min_dc = 0.0; max_dc = 0.0 }
-      per_output
+      zero_bounds per_output
   in
   let k = float_of_int no in
   { base = acc.base /. k; min_dc = acc.min_dc /. k; max_dc = acc.max_dc /. k }
@@ -86,20 +160,23 @@ let mean_bounds spec =
 let min_rate b = b.base +. b.min_dc
 let max_rate b = b.base +. b.max_dc
 
-let of_spec_assigned spec ~o =
-  let size = Spec.size spec in
-  let impl = Bv.create size in
-  for m = 0 to size - 1 do
-    if Spec.output_value spec ~o ~m then Bv.set impl m
-  done;
-  of_table spec ~o ~impl
-
 let impl_table assigned ~o =
-  let impl = Bv.create (Spec.size assigned) in
-  for m = 0 to Spec.size assigned - 1 do
-    if Spec.output_value assigned ~o ~m then Bv.set impl m
-  done;
-  impl
+  if K.use () then begin
+    let on, _, dc = Spec.phase_planes assigned ~o in
+    if not (Bv.is_empty dc) then
+      invalid_arg "Spec.output_value: unassigned DC";
+    Bv.copy on
+  end
+  else begin
+    let size = Spec.size assigned in
+    let impl = Bv.create size in
+    for m = 0 to size - 1 do
+      if Spec.output_value assigned ~o ~m then Bv.unsafe_set impl m
+    done;
+    impl
+  end
+
+let of_spec_assigned spec ~o = of_table spec ~o ~impl:(impl_table spec ~o)
 
 (* Iterate all k-subsets of inputs as XOR masks. *)
 let iter_flip_masks ~n ~k f =
@@ -126,9 +203,9 @@ let of_table_kbit spec ~o ~impl ~k =
     match Spec.get spec ~o ~m with
     | Spec.Dc -> ()
     | Spec.On | Spec.Off ->
-        let v = Bv.get impl m in
+        let v = Bv.unsafe_get impl m in
         iter_flip_masks ~n ~k (fun mask ->
-            if Bv.get impl (m lxor mask) <> v then incr count)
+            if Bv.unsafe_get impl (m lxor mask) <> v then incr count)
   done;
   float_of_int !count /. (float_of_int (binomial n k) *. float_of_int size)
 

@@ -15,6 +15,7 @@ let () =
       Test_aig.suite;
       Test_techmap.suite;
       Test_reliability.suite;
+      Test_kernel_diff.suite;
       Test_inject.suite;
       Test_campaign.suite;
       Test_parallel.suite;

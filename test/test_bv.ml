@@ -183,3 +183,186 @@ let extra_cases =
   ]
 
 let suite = (fst suite, snd suite @ extra_cases)
+
+(* Word-parallel kernels: every operation is checked against the
+   obvious scalar definition on random vectors of power-of-two
+   lengths spanning several word boundaries. *)
+
+module K = Bv.Kernel
+
+let test_unsafe_accessors () =
+  let t = Bv.create 130 in
+  Bv.unsafe_set t 0;
+  Bv.unsafe_set t 63;
+  Bv.unsafe_set t 129;
+  check "unsafe_get 0" true (Bv.unsafe_get t 0);
+  check "unsafe_get 63" true (Bv.unsafe_get t 63);
+  check "unsafe_get 129" true (Bv.unsafe_get t 129);
+  check "unsafe_get 1" false (Bv.unsafe_get t 1);
+  check_int "cardinal" 3 (Bv.cardinal t)
+
+let test_logxor () =
+  let a = Bv.of_list 10 [ 1; 3; 5 ] and b = Bv.of_list 10 [ 3; 4 ] in
+  Alcotest.(check (list int)) "logxor" [ 1; 4; 5 ] (Bv.to_list (Bv.logxor a b));
+  Bv.logxor_in_place a b;
+  Alcotest.(check (list int)) "logxor_in_place" [ 1; 4; 5 ] (Bv.to_list a)
+
+let random_bv rng n =
+  let t = Bv.create n in
+  for i = 0 to n - 1 do
+    if Random.State.bool rng then Bv.set t i
+  done;
+  t
+
+let test_neighbor_matches_permutation () =
+  let rng = Random.State.make [| 42 |] in
+  List.iter
+    (fun n ->
+      let len = 1 lsl n in
+      let a = random_bv rng len in
+      for j = 0 to n - 1 do
+        let nb = K.neighbor ~j a in
+        let d = K.neighbor_diff ~j a in
+        for m = 0 to len - 1 do
+          let want = Bv.get a (m lxor (1 lsl j)) in
+          if Bv.get nb m <> want then
+            Alcotest.failf "neighbor n=%d j=%d m=%d" n j m;
+          if Bv.get d m <> (Bv.get a m <> want) then
+            Alcotest.failf "neighbor_diff n=%d j=%d m=%d" n j m
+        done
+      done)
+    [ 1; 2; 5; 6; 7; 8; 9; 10 ]
+
+let test_neighbor_validation () =
+  let a = Bv.create 12 in
+  Alcotest.check_raises "not a multiple"
+    (Invalid_argument
+       "Bv.Kernel.neighbor_diff: length must be a multiple of 2^(j+1)")
+    (fun () -> ignore (K.neighbor_diff ~j:3 a))
+
+let test_popcount_and () =
+  let rng = Random.State.make [| 7 |] in
+  let a = random_bv rng 300 and b = random_bv rng 300 and c = random_bv rng 300 in
+  check_int "and" (Bv.cardinal (Bv.inter a b)) (K.popcount_and a b);
+  check_int "and3"
+    (Bv.cardinal (Bv.inter a (Bv.inter b c)))
+    (K.popcount_and3 a b c);
+  check_int "or" (Bv.cardinal (Bv.union a b)) (K.popcount_or a b);
+  check_int "xor" (Bv.cardinal (Bv.logxor a b)) (K.popcount_xor a b);
+  check_int "and masked"
+    (Bv.cardinal (Bv.inter (Bv.inter a b) c))
+    (K.popcount_and_masked a b ~mask:c)
+
+let test_counter_roundtrip () =
+  let rng = Random.State.make [| 11 |] in
+  let len = 200 in
+  let c = K.counter_create ~len ~bits:5 in
+  let reference = Array.make len 0 in
+  for _ = 1 to 20 do
+    let p = random_bv rng len in
+    K.counter_add_bit c p;
+    for i = 0 to len - 1 do
+      if Bv.get p i then reference.(i) <- reference.(i) + 1
+    done
+  done;
+  let got = K.counter_extract c in
+  Alcotest.(check (array int)) "extract" reference got;
+  check_int "get mid" reference.(100) (K.counter_get c 100);
+  let mask = random_bv rng len in
+  let want =
+    Bv.fold_set (fun i acc -> acc + reference.(i)) mask 0
+  in
+  check_int "weighted sum" want (K.counter_weighted_sum c ~mask)
+
+let test_counter_add_and_abs_diff () =
+  let rng = Random.State.make [| 13 |] in
+  let len = 150 in
+  let mk rounds =
+    let c = K.counter_create ~len ~bits:6 in
+    for _ = 1 to rounds do
+      K.counter_add_bit c (random_bv rng len)
+    done;
+    c
+  in
+  let a = mk 17 and b = mk 9 in
+  let av = K.counter_extract a and bv = K.counter_extract b in
+  let sum = K.counter_create ~len ~bits:6 in
+  K.counter_add sum a;
+  K.counter_add sum b;
+  Alcotest.(check (array int)) "counter_add"
+    (Array.map2 ( + ) av bv)
+    (K.counter_extract sum);
+  let abs, sign = K.counter_abs_diff a b in
+  Alcotest.(check (array int)) "abs diff"
+    (Array.map2 (fun x y -> Stdlib.abs (x - y)) av bv)
+    (K.counter_extract abs);
+  for i = 0 to len - 1 do
+    if Bv.get sign i <> (bv.(i) > av.(i)) then Alcotest.failf "sign at %d" i
+  done
+
+let test_counter_neighbor () =
+  let rng = Random.State.make [| 17 |] in
+  let len = 128 in
+  let c = K.counter_create ~len ~bits:4 in
+  for _ = 1 to 9 do
+    K.counter_add_bit c (random_bv rng len)
+  done;
+  let v = K.counter_extract c in
+  List.iter
+    (fun j ->
+      let shifted = K.counter_neighbor ~j c in
+      let got = K.counter_extract shifted in
+      for m = 0 to len - 1 do
+        if got.(m) <> v.(m lxor (1 lsl j)) then
+          Alcotest.failf "counter_neighbor j=%d m=%d" j m
+      done)
+    [ 0; 1; 3; 6 ]
+
+let test_counter_overflow () =
+  let c = K.counter_create ~len:8 ~bits:2 in
+  let ones = Bv.create 8 in
+  Bv.fill ones true;
+  K.counter_add_bit c ones;
+  K.counter_add_bit c ones;
+  K.counter_add_bit c ones;
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Bv.Kernel.counter_add_bit: overflow") (fun () ->
+      K.counter_add_bit c ones)
+
+let test_with_mode () =
+  check "enabled by default" true (K.use ());
+  K.with_mode false (fun () -> check "disabled inside" false (K.use ()));
+  check "restored" true (K.use ());
+  (try K.with_mode false (fun () -> failwith "boom") with Failure _ -> ());
+  check "restored after exception" true (K.use ())
+
+let prop_neighbor_involution =
+  QCheck.Test.make ~name:"kernel neighbor is an involution" ~count:100
+    QCheck.(pair (int_bound 6) (list small_nat))
+    (fun (n0, l) ->
+      let n = n0 + 1 in
+      let len = 1 lsl n in
+      let a = Bv.of_list len (List.filter (fun i -> i < len) l) in
+      List.for_all
+        (fun j -> Bv.equal a (K.neighbor ~j (K.neighbor ~j a)))
+        (List.init n (fun j -> j)))
+
+let kernel_cases =
+  [
+    Alcotest.test_case "unsafe accessors" `Quick test_unsafe_accessors;
+    Alcotest.test_case "logxor" `Quick test_logxor;
+    Alcotest.test_case "kernel neighbor matches permutation" `Quick
+      test_neighbor_matches_permutation;
+    Alcotest.test_case "kernel neighbor validation" `Quick
+      test_neighbor_validation;
+    Alcotest.test_case "kernel fused popcounts" `Quick test_popcount_and;
+    Alcotest.test_case "counter roundtrip" `Quick test_counter_roundtrip;
+    Alcotest.test_case "counter add / abs diff" `Quick
+      test_counter_add_and_abs_diff;
+    Alcotest.test_case "counter neighbor" `Quick test_counter_neighbor;
+    Alcotest.test_case "counter overflow" `Quick test_counter_overflow;
+    Alcotest.test_case "kernel mode toggle" `Quick test_with_mode;
+    QCheck_alcotest.to_alcotest prop_neighbor_involution;
+  ]
+
+let suite = (fst suite, snd suite @ kernel_cases)

@@ -1,0 +1,193 @@
+(* Differential tests for the word-parallel kernel engine: every
+   rewired metric must agree bit-for-bit with its scalar oracle, at
+   one worker domain and at several.  Floats are compared with [=] —
+   the kernels are integer-exact, so "close" is not good enough. *)
+
+module Spec = Pla.Spec
+module Bv = Bitvec.Bv
+module K = Bv.Kernel
+module ER = Reliability.Error_rate
+module Borders = Reliability.Borders
+module Metrics = Rdca_core.Metrics
+module Assign = Rdca_core.Assign
+module Pool = Parallel.Pool
+
+let check = Alcotest.(check bool)
+let check_f tol = Alcotest.(check (float tol))
+let jobs_grid = [ 1; 4 ]
+
+(* Random (ni, phases) with 1 <= ni <= 6 — large enough to cross the
+   63-bit word boundary (ni = 6 gives 64 minterms), small enough for
+   the scalar sweeps to stay fast. *)
+let gen_spec =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun n ->
+    list_repeat (1 lsl n) (int_bound 2) >>= fun phases ->
+    return (n, phases))
+
+let arb_spec =
+  QCheck.make
+    ~print:(fun (n, ps) ->
+      Printf.sprintf "ni=%d phases=%s" n
+        (String.concat "" (List.map string_of_int ps)))
+    gen_spec
+
+let spec_of (n, phases) =
+  let s = Spec.create ~ni:n ~no:1 ~default:Spec.Off in
+  List.iteri
+    (fun m p ->
+      Spec.set s ~o:0 ~m
+        (match p with 0 -> Spec.Off | 1 -> Spec.On | _ -> Spec.Dc))
+    phases;
+  s
+
+let impl_of (n, seed) =
+  let size = 1 lsl n in
+  let impl = Bv.create size in
+  for m = 0 to size - 1 do
+    if (seed lsr (m land 30)) land 1 = (m land 1) lor ((m lsr 3) land 1) then
+      Bv.set impl m
+  done;
+  impl
+
+(* Run [f] under every job count of the grid with the kernel engine
+   on, and require each result to equal [oracle] (computed once with
+   the engine off, single-threaded). *)
+let kernel_equals_oracle ~oracle f =
+  let reference = Pool.with_jobs 1 (fun () -> K.with_mode false oracle) in
+  List.for_all
+    (fun j -> Pool.with_jobs j (fun () -> K.with_mode true f) = reference)
+    jobs_grid
+
+let prop_of_table =
+  QCheck.Test.make ~name:"kernel of_table = scalar oracle (jobs 1,4)"
+    ~count:100
+    QCheck.(pair arb_spec (int_bound 0x3fffffff))
+    (fun ((n, phases), seed) ->
+      let s = spec_of (n, phases) in
+      let impl = impl_of (n, seed) in
+      kernel_equals_oracle
+        ~oracle:(fun () -> ER.of_table_scalar s ~o:0 ~impl)
+        (fun () -> ER.of_table s ~o:0 ~impl))
+
+let prop_bounds =
+  QCheck.Test.make ~name:"kernel bounds = scalar oracle (jobs 1,4)"
+    ~count:100 arb_spec (fun sp ->
+      let s = spec_of sp in
+      kernel_equals_oracle
+        ~oracle:(fun () -> ER.bounds_scalar s ~o:0)
+        (fun () -> ER.bounds s ~o:0))
+
+let prop_neighbour_counts_batch =
+  QCheck.Test.make
+    ~name:"kernel neighbour_counts_batch = per-minterm scalar (jobs 1,4)"
+    ~count:100 arb_spec (fun sp ->
+      let s = spec_of sp in
+      kernel_equals_oracle
+        ~oracle:(fun () ->
+          let size = Spec.size s in
+          let on = Array.make size 0
+          and off = Array.make size 0
+          and dc = Array.make size 0 in
+          for m = 0 to size - 1 do
+            let o_, f_, d_ = Spec.neighbour_counts s ~o:0 ~m in
+            on.(m) <- o_;
+            off.(m) <- f_;
+            dc.(m) <- d_
+          done;
+          (on, off, dc))
+        (fun () -> Spec.neighbour_counts_batch s ~o:0))
+
+let prop_complexity_factor =
+  QCheck.Test.make
+    ~name:"kernel same_phase_pairs & border_counts = scalar (jobs 1,4)"
+    ~count:100 arb_spec (fun sp ->
+      let s = spec_of sp in
+      kernel_equals_oracle
+        ~oracle:(fun () ->
+          (Borders.same_phase_pairs_scalar s ~o:0,
+           Borders.border_counts_scalar s ~o:0))
+        (fun () ->
+          (Borders.same_phase_pairs s ~o:0, Borders.border_counts s ~o:0)))
+
+let prop_lcf_batch =
+  QCheck.Test.make
+    ~name:"kernel local_complexity_factors = scalar sweep (jobs 1,4)"
+    ~count:100 arb_spec (fun sp ->
+      let s = spec_of sp in
+      kernel_equals_oracle
+        ~oracle:(fun () ->
+          Array.init (Spec.size s) (fun m ->
+              Borders.local_complexity_factor s ~o:0 ~m))
+        (fun () -> Borders.local_complexity_factors s ~o:0))
+
+let prop_ranking_weights =
+  QCheck.Test.make
+    ~name:"kernel dc_ranking & ranking assignment = scalar (jobs 1,4)"
+    ~count:100 arb_spec (fun sp ->
+      let s = spec_of sp in
+      let ranking_ok =
+        kernel_equals_oracle
+          ~oracle:(fun () -> Metrics.dc_ranking s ~o:0)
+          (fun () -> Metrics.dc_ranking s ~o:0)
+      in
+      let reference =
+        Pool.with_jobs 1 (fun () ->
+            K.with_mode false (fun () -> Assign.ranking ~fraction:0.5 s))
+      in
+      let assign_ok =
+        List.for_all
+          (fun j ->
+            Pool.with_jobs j (fun () ->
+                K.with_mode true (fun () ->
+                    Spec.equal (Assign.ranking ~fraction:0.5 s) reference)))
+          jobs_grid
+      in
+      ranking_ok && assign_ok)
+
+(* Regression: a spec with no inputs has no error events at all — the
+   rate is 0, not 0/0 = NaN.  Both engines, plus the bounds. *)
+let test_no_input_rate_is_zero () =
+  let s = Spec.create ~ni:0 ~no:1 ~default:Spec.On in
+  let impl = Bv.create 1 in
+  Bv.set impl 0;
+  List.iter
+    (fun kernel ->
+      K.with_mode kernel @@ fun () ->
+      let r = ER.of_table s ~o:0 ~impl in
+      check "rate is a number" false (Float.is_nan r);
+      check_f 1e-9 "rate" 0.0 r;
+      let b = ER.bounds s ~o:0 in
+      check_f 1e-9 "base" 0.0 b.ER.base;
+      check_f 1e-9 "min_dc" 0.0 b.ER.min_dc;
+      check_f 1e-9 "max_dc" 0.0 b.ER.max_dc)
+    [ false; true ];
+  check_f 1e-9 "scalar oracle too" 0.0 (ER.of_table_scalar s ~o:0 ~impl)
+
+(* A 0-input function is constant: its local complexity factor is 1,
+   in the batch and per-minterm forms, under both engines. *)
+let test_no_input_lcf () =
+  let s = Spec.create ~ni:0 ~no:1 ~default:Spec.Dc in
+  List.iter
+    (fun kernel ->
+      K.with_mode kernel @@ fun () ->
+      check_f 1e-9 "per-minterm" 1.0
+        (Borders.local_complexity_factor s ~o:0 ~m:0);
+      let batch = Borders.local_complexity_factors s ~o:0 in
+      Alcotest.(check int) "batch length" 1 (Array.length batch);
+      check_f 1e-9 "batch" 1.0 batch.(0))
+    [ false; true ]
+
+let suite =
+  ( "kernel-diff",
+    [
+      QCheck_alcotest.to_alcotest prop_of_table;
+      QCheck_alcotest.to_alcotest prop_bounds;
+      QCheck_alcotest.to_alcotest prop_neighbour_counts_batch;
+      QCheck_alcotest.to_alcotest prop_complexity_factor;
+      QCheck_alcotest.to_alcotest prop_lcf_batch;
+      QCheck_alcotest.to_alcotest prop_ranking_weights;
+      Alcotest.test_case "no-input spec: rate 0, not NaN" `Quick
+        test_no_input_rate_is_zero;
+      Alcotest.test_case "no-input spec: LCf = 1" `Quick test_no_input_lcf;
+    ] )

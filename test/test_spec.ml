@@ -121,6 +121,64 @@ let test_output_value () =
     (Invalid_argument "Spec.output_value: unassigned DC") (fun () ->
       ignore (Spec.output_value s ~o:0 ~m:1))
 
+let test_count_phase_engines_agree () =
+  (* 65 minterms would not fit one word; use ni=7 to cross the 63-bit
+     word boundary. *)
+  let s = Spec.create ~ni:7 ~no:1 ~default:Spec.Off in
+  for m = 0 to 127 do
+    if m mod 3 = 0 then Spec.set s ~o:0 ~m Spec.On
+    else if m mod 5 = 0 then Spec.set s ~o:0 ~m Spec.Dc
+  done;
+  List.iter
+    (fun p ->
+      let kernel =
+        Bitvec.Bv.Kernel.with_mode true (fun () -> Spec.count_phase s ~o:0 p)
+      in
+      let scalar =
+        Bitvec.Bv.Kernel.with_mode false (fun () -> Spec.count_phase s ~o:0 p)
+      in
+      check_int "popcount = byte scan" scalar kernel)
+    [ Spec.On; Spec.Off; Spec.Dc ]
+
+let test_plane_cache_invalidation () =
+  let s = Spec.create ~ni:3 ~no:2 ~default:Spec.Off in
+  Spec.set s ~o:0 ~m:1 Spec.On;
+  let on, _, _ = Spec.phase_planes s ~o:0 in
+  Alcotest.(check (list int)) "cached on-plane" [ 1 ] (Bitvec.Bv.to_list on);
+  (* mutate: the next phase_planes call must reflect the change *)
+  Spec.set s ~o:0 ~m:5 Spec.On;
+  let on, _, dc = Spec.phase_planes s ~o:0 in
+  Alcotest.(check (list int)) "rebuilt on-plane" [ 1; 5 ]
+    (Bitvec.Bv.to_list on);
+  check "dc empty" true (Bitvec.Bv.is_empty dc);
+  (* other outputs are unaffected *)
+  let on1, _, _ = Spec.phase_planes s ~o:1 in
+  check "o1 untouched" true (Bitvec.Bv.is_empty on1);
+  (* assign_dc also invalidates *)
+  Spec.set s ~o:1 ~m:0 Spec.Dc;
+  Spec.assign_dc s ~o:1 ~m:0 true;
+  let on1, _, dc1 = Spec.phase_planes s ~o:1 in
+  Alcotest.(check (list int)) "assigned" [ 0 ] (Bitvec.Bv.to_list on1);
+  check "dc gone" true (Bitvec.Bv.is_empty dc1)
+
+let test_neighbour_counts_batch_matches () =
+  let s = Spec.create ~ni:7 ~no:1 ~default:Spec.Off in
+  for m = 0 to 127 do
+    if (m * 7) mod 11 < 3 then Spec.set s ~o:0 ~m Spec.On
+    else if (m * 5) mod 13 < 4 then Spec.set s ~o:0 ~m Spec.Dc
+  done;
+  List.iter
+    (fun kernel ->
+      Bitvec.Bv.Kernel.with_mode kernel @@ fun () ->
+      let on, off, dc = Spec.neighbour_counts_batch s ~o:0 in
+      for m = 0 to 127 do
+        let o_, f_, d_ = Spec.neighbour_counts s ~o:0 ~m in
+        check_int "on" o_ on.(m);
+        check_int "off" f_ off.(m);
+        check_int "dc" d_ dc.(m)
+      done)
+    [ false; true ]
+
 let prop_phase_partition =
   QCheck.Test.make ~name:"on+off+dc counts partition the space" ~count:100
     QCheck.(list_of_size (QCheck.Gen.return 16) (int_bound 2))
@@ -162,6 +220,12 @@ let suite =
       Alcotest.test_case "iter_dc" `Quick test_iter_dc;
       Alcotest.test_case "bv extraction" `Quick test_bv_extraction;
       Alcotest.test_case "output_value" `Quick test_output_value;
+      Alcotest.test_case "count_phase engines agree" `Quick
+        test_count_phase_engines_agree;
+      Alcotest.test_case "phase-plane cache invalidation" `Quick
+        test_plane_cache_invalidation;
+      Alcotest.test_case "neighbour_counts_batch matches per-minterm" `Quick
+        test_neighbour_counts_batch_matches;
       QCheck_alcotest.to_alcotest prop_phase_partition;
       QCheck_alcotest.to_alcotest prop_neighbour_sum;
     ] )
