@@ -15,14 +15,15 @@
      dune exec bench/main.exe -- --full        # paper-scale sweeps
      dune exec bench/main.exe -- --jobs 4      # worker domains (also RDCA_JOBS)
      dune exec bench/main.exe -- --json out.json
-   Sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal micro
+   Sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal
+   check-ex1010 micro
 
    Exits non-zero if any section's kernel results differ from the
    scalar oracle, or its parallel results differ from sequential. *)
 
 module E = Rdca_flow.Experiments
 module T = Rdca_flow.Tablefmt
-module J = Rdca_flow.Jsonout
+module J = Rdca_json.Jsonout
 module Pool = Parallel.Pool
 module K = Bitvec.Bv.Kernel
 
@@ -456,6 +457,60 @@ let run_nodal ~full:_ () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Static-check audit of the largest suite benchmark: synthesize
+   ex1010, then run the full lib/check pipeline (spec lint, cover
+   check, netlist structure, care-set equivalence with both the
+   exhaustive and the BDD engine).  The diagnostics land in the
+   outcome table, so the harness's signature comparison doubles as the
+   differential guard that the kernel and scalar checker engines — and
+   the two equivalence engines — report identically. *)
+
+let run_check_ex1010 ~full:_ () =
+  let module Flow = Rdca_flow.Flow in
+  let module Diag = Check.Diag in
+  let spec = Synthetic.Suite.load_by_name "ex1010" in
+  let r =
+    Flow.synthesize ~mode:Techmap.Mapper.Area ~strategy:Flow.Conventional spec
+  in
+  let diags =
+    Diag.sort
+      (Check.implementation ~equiv:Check.Netlist_check.Exhaustive
+         ~include_redundancy:true ~spec ~covers:r.Flow.covers
+         ~netlist:r.Flow.netlist ())
+  in
+  let bdd_diags =
+    Check.Netlist_check.equiv_spec ~engine:Check.Netlist_check.Bdd_backed ~spec
+      r.Flow.netlist
+  in
+  {
+    tables =
+      [
+        {
+          title = "check-ex1010: post-synthesis static audit (conventional/area)";
+          header = [ "severity"; "code"; "location"; "message" ];
+          rows =
+            List.map
+              (fun d ->
+                [
+                  Diag.severity_name d.Diag.severity;
+                  d.Diag.code;
+                  Diag.location_to_string d.Diag.loc;
+                  d.Diag.message;
+                ])
+              diags;
+        };
+      ];
+    scalars =
+      [
+        ("diag_errors", float_of_int (Diag.count Diag.Error diags));
+        ("diag_warnings", float_of_int (Diag.count Diag.Warn diags));
+        ("diag_infos", float_of_int (Diag.count Diag.Info diags));
+        ("equiv_bdd_errors", float_of_int (List.length bdd_diags));
+        ("sop_cubes", float_of_int r.Flow.sop_cubes);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core kernels.  Timing is noisy by
    nature, so this section runs once and is excluded from the
    identical-results check. *)
@@ -560,6 +615,7 @@ let sections =
     { sec_name = "table3"; dual = true; build = run_table3 };
     { sec_name = "ablations"; dual = true; build = run_ablations };
     { sec_name = "nodal"; dual = true; build = run_nodal };
+    { sec_name = "check-ex1010"; dual = true; build = run_check_ex1010 };
     { sec_name = "micro"; dual = false; build = run_micro };
   ]
 
@@ -633,7 +689,8 @@ let exec_section ~jobs ~full s =
 let usage () =
   prerr_endline
     "usage: bench [--full] [--jobs N] [--json FILE] [SECTION...]\n\
-     sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal micro";
+     sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal \
+     check-ex1010 micro";
   exit 2
 
 let () =
@@ -678,7 +735,7 @@ let () =
   J.write_file !json_path
     (J.Obj
        [
-         ("schema_version", J.Int 2);
+         ("schema_version", J.Int 3);
          ("jobs", J.Int !jobs);
          ("full", J.Bool !full);
          ("sections", J.List entries);

@@ -7,6 +7,7 @@
      faultsim   gate-level fault-injection campaign vs input-error rates
      gen        generate a synthetic benchmark (.pla)
      estimate   analytical min-max reliability estimates vs exact bounds
+     check      static lints + cover/netlist audits (text or JSON report)
      suite      list the built-in Table 1 benchmark suite
      bench      parallel-determinism smoke benchmark (JSON output, for CI) *)
 
@@ -388,6 +389,80 @@ let estimate_cmd =
   let doc = "Analytical min-max reliability estimates vs exact bounds" in
   Cmd.v (Cmd.info "estimate" ~doc) Term.(const run $ input_arg $ jobs_arg)
 
+(* Static checking: spec lints, then (unless --lint-only) a synthesis
+   run whose covers and netlist are audited against the *original*
+   care set.  Prints a compiler-style report; optionally writes the
+   same report as JSON for CI consumption.  Exit 1 iff any
+   error-severity diagnostic. *)
+let check_cmd =
+  let module Diag = Check.Diag in
+  let module J = Rdca_json.Jsonout in
+  let engine_arg =
+    let doc = "Care-set equivalence engine: auto | exhaustive | bdd." in
+    Arg.(
+      value
+      & opt (enum
+               [ ("auto", Check.Netlist_check.Auto);
+                 ("exhaustive", Check.Netlist_check.Exhaustive);
+                 ("bdd", Check.Netlist_check.Bdd_backed) ])
+          Check.Netlist_check.Auto
+      & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the diagnostic report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let lint_only_arg =
+    let doc = "Stop after the spec lints (no synthesis)." in
+    Arg.(value & flag & info [ "lint-only" ] ~doc)
+  in
+  let emit input json diags =
+    let diags = Diag.sort diags in
+    Fmt.pr "%a@." Diag.pp_report diags;
+    Option.iter
+      (fun path ->
+        J.write_file path
+          (Diag.report_to_json ~meta:[ ("subject", J.String input) ] diags))
+      json;
+    if Diag.has_errors diags then 1 else 0
+  in
+  let run input strategy mode engine lint_only json jobs =
+    with_jobs_opt jobs @@ fun () ->
+    match Flow.load_source input with
+    | Error (Flow.Check_failed { diags; _ }) ->
+        (* The load itself was refused (on/off overlap): that IS the
+           check result, so report it through the normal channel. *)
+        emit input json diags
+    | Error e ->
+        Fmt.epr "rdca: %s@." (Flow.error_to_string e);
+        1
+    | Ok src ->
+        let lint = Flow.lint_source src in
+        if lint_only || Diag.has_errors lint then emit input json lint
+        else begin
+          match Flow.synthesize_result ~mode ~strategy src.Flow.spec with
+          | Error e ->
+              Fmt.epr "rdca: %s@." (Flow.error_to_string e);
+              1
+          | Ok r ->
+              let spec = src.Flow.spec in
+              let cover_diags =
+                Check.Cover_check.check_covers ~include_redundancy:true ~spec
+                  r.Flow.covers
+              in
+              let structure = Check.Netlist_check.check r.Flow.netlist in
+              let equiv_diags =
+                Check.Netlist_check.equiv_spec ~engine ~spec r.Flow.netlist
+              in
+              emit input json (lint @ cover_diags @ structure @ equiv_diags)
+        end
+  in
+  let doc = "Statically check a spec and its synthesized implementation" in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ input_arg $ strategy_args $ mode_arg $ engine_arg
+      $ lint_only_arg $ json_arg $ jobs_arg)
+
 let suite_cmd =
   let run () =
     List.iter
@@ -419,7 +494,7 @@ let suite_cmd =
 let bench_cmd =
   let module Pool = Parallel.Pool in
   let module E = Rdca_flow.Experiments in
-  let module J = Rdca_flow.Jsonout in
+  let module J = Rdca_json.Jsonout in
   let module K = Bitvec.Bv.Kernel in
   let run jobs json_path =
     with_jobs_opt jobs @@ fun () ->
@@ -513,7 +588,7 @@ let bench_cmd =
     J.write_file json_path
       (J.Obj
          [
-           ("schema_version", J.Int 2);
+           ("schema_version", J.Int 3);
            ("jobs", J.Int n_jobs);
            ("full", J.Bool false);
            ("sections", J.List [ table3_entry; errbounds_entry ]);
@@ -543,7 +618,7 @@ let main =
   Cmd.group info
     [
       stats_cmd; assign_cmd; synth_cmd; faultsim_cmd; gen_cmd; estimate_cmd;
-      suite_cmd; bench_cmd;
+      check_cmd; suite_cmd; bench_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

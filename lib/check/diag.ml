@@ -1,0 +1,152 @@
+type severity = Info | Warn | Error
+
+type location =
+  | Global
+  | Output of int
+  | Input_var of int
+  | Minterm of { output : int; minterm : int }
+  | Term of { line : int }
+  | Cube of { output : int; index : int }
+  | Node of int
+
+type t = {
+  severity : severity;
+  code : string;
+  loc : location;
+  message : string;
+}
+
+let make severity ~code ~loc fmt =
+  Format.kasprintf (fun message -> { severity; code; loc; message }) fmt
+
+let error ~code ~loc fmt = make Error ~code ~loc fmt
+
+let warn ~code ~loc fmt = make Warn ~code ~loc fmt
+
+let info ~code ~loc fmt = make Info ~code ~loc fmt
+
+let severity_rank = function Info -> 0 | Warn -> 1 | Error -> 2
+
+let severity_compare a b = compare (severity_rank a) (severity_rank b)
+
+let severity_name = function
+  | Info -> "info"
+  | Warn -> "warning"
+  | Error -> "error"
+
+let count sev diags =
+  List.length (List.filter (fun d -> d.severity = sev) diags)
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+let max_severity = function
+  | [] -> None
+  | d :: rest ->
+      Some
+        (List.fold_left
+           (fun acc x ->
+             if severity_compare x.severity acc > 0 then x.severity else acc)
+           d.severity rest)
+
+let location_rank = function
+  | Global -> (0, 0, 0)
+  | Output o -> (1, o, 0)
+  | Input_var i -> (2, i, 0)
+  | Minterm { output; minterm } -> (3, output, minterm)
+  | Term { line } -> (4, line, 0)
+  | Cube { output; index } -> (5, output, index)
+  | Node id -> (6, id, 0)
+
+let sort diags =
+  List.stable_sort
+    (fun a b ->
+      let c = severity_compare b.severity a.severity in
+      if c <> 0 then c
+      else
+        let c = compare a.code b.code in
+        if c <> 0 then c else compare (location_rank a.loc) (location_rank b.loc))
+    diags
+
+let location_to_string = function
+  | Global -> "global"
+  | Output o -> Printf.sprintf "y%d" o
+  | Input_var i -> Printf.sprintf "x%d" i
+  | Minterm { output; minterm } -> Printf.sprintf "y%d/m%d" output minterm
+  | Term { line } -> Printf.sprintf "term:%d" line
+  | Cube { output; index } -> Printf.sprintf "y%d/cube%d" output index
+  | Node id -> Printf.sprintf "node:%d" id
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s" (severity_name d.severity) d.code
+    (location_to_string d.loc) d.message
+
+let pp_report ppf diags =
+  let diags = sort diags in
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) diags;
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info@." (count Error diags)
+    (count Warn diags) (count Info diags)
+
+let cap ~limit diags =
+  if List.length diags <= limit then diags
+  else
+    match diags with
+    | [] -> []
+    | first :: _ ->
+        let shown = List.filteri (fun i _ -> i < limit) diags in
+        let extra = List.length diags - limit in
+        shown
+        @ [
+            {
+              severity = first.severity;
+              code = first.code;
+              loc = Global;
+              message =
+                Printf.sprintf "%d additional %s diagnostic(s) not shown" extra
+                  first.code;
+            };
+          ]
+
+module J = Rdca_json.Jsonout
+
+let location_to_json = function
+  | Global -> J.Obj [ ("kind", J.String "global") ]
+  | Output o -> J.Obj [ ("kind", J.String "output"); ("output", J.Int o) ]
+  | Input_var i -> J.Obj [ ("kind", J.String "input"); ("input", J.Int i) ]
+  | Minterm { output; minterm } ->
+      J.Obj
+        [
+          ("kind", J.String "minterm");
+          ("output", J.Int output);
+          ("minterm", J.Int minterm);
+        ]
+  | Term { line } -> J.Obj [ ("kind", J.String "term"); ("line", J.Int line) ]
+  | Cube { output; index } ->
+      J.Obj
+        [
+          ("kind", J.String "cube");
+          ("output", J.Int output);
+          ("index", J.Int index);
+        ]
+  | Node id -> J.Obj [ ("kind", J.String "node"); ("node", J.Int id) ]
+
+let to_json d =
+  J.Obj
+    [
+      ("severity", J.String (severity_name d.severity));
+      ("code", J.String d.code);
+      ("location", location_to_json d.loc);
+      ("message", J.String d.message);
+    ]
+
+let report_to_json ?(meta = []) diags =
+  let diags = sort diags in
+  J.Obj
+    (meta
+    @ [
+        ("errors", J.Int (count Error diags));
+        ("warnings", J.Int (count Warn diags));
+        ("infos", J.Int (count Info diags));
+        ("diagnostics", J.List (List.map to_json diags));
+      ])

@@ -1,0 +1,82 @@
+(** Structured diagnostics for the static verification subsystem.
+
+    Every analyzer in {!Check} reports its findings as a list of
+    diagnostics: a severity, a stable machine-readable code, a
+    structured location and a human message.  Reports render either as
+    text (one line per diagnostic, compiler style) or as JSON through
+    {!Rdca_json.Jsonout} for CI consumption. *)
+
+type severity = Info | Warn | Error
+
+(** Where a diagnostic points.  [Term] carries a 1-based source line
+    of a .pla product term; [Cube] indexes into a synthesized cover;
+    [Node] is a netlist/AIG node id. *)
+type location =
+  | Global
+  | Output of int
+  | Input_var of int
+  | Minterm of { output : int; minterm : int }
+  | Term of { line : int }
+  | Cube of { output : int; index : int }
+  | Node of int
+
+type t = {
+  severity : severity;
+  code : string;  (** stable kebab-case identifier, e.g. ["on-off-overlap"] *)
+  loc : location;
+  message : string;
+}
+
+(** Constructors ([kasprintf]-style format interface). *)
+
+val error : code:string -> loc:location -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warn : code:string -> loc:location -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val info : code:string -> loc:location -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+(** Severity order: [Info < Warn < Error]. *)
+val severity_compare : severity -> severity -> int
+
+val severity_name : severity -> string
+
+(** [count sev diags] counts diagnostics at exactly [sev]. *)
+val count : severity -> t list -> int
+
+(** [errors diags] keeps only error-severity diagnostics. *)
+val errors : t list -> t list
+
+(** [has_errors diags] is [errors diags <> []]. *)
+val has_errors : t list -> bool
+
+(** [max_severity diags] is the highest severity present, or [None]
+    for an empty report. *)
+val max_severity : t list -> severity option
+
+(** [sort diags] orders by severity (errors first), then by code, then
+    location — a stable presentation order independent of analyzer
+    scheduling. *)
+val sort : t list -> t list
+
+(** [cap ~limit diags] truncates a homogeneous diagnostic list (all
+    sharing one code/severity) to [limit] entries plus one summary
+    diagnostic counting the rest — flood control for pathological
+    inputs, deterministic either way. *)
+val cap : limit:int -> t list -> t list
+
+val location_to_string : location -> string
+
+(** [pp] renders one diagnostic compiler-style:
+    ["error[on-off-overlap] term:12: ..."]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [pp_report] renders every diagnostic plus a one-line summary. *)
+val pp_report : Format.formatter -> t list -> unit
+
+(** JSON forms.  [report_to_json] wraps the diagnostics with summary
+    counts; [~meta] key/value pairs land in the report header. *)
+
+val to_json : t -> Rdca_json.Jsonout.t
+
+val report_to_json :
+  ?meta:(string * Rdca_json.Jsonout.t) list -> t list -> Rdca_json.Jsonout.t

@@ -33,6 +33,7 @@ type result = {
   sop_cubes : int;
   assigned_fraction : float;
   netlist : Netlist.t;
+  covers : Twolevel.Cover.t list;
   degradations : degradation list;
 }
 
@@ -41,6 +42,7 @@ type error =
   | Parse_error of { path : string; message : string }
   | Unknown_benchmark of { name : string; suggestions : string list }
   | Synthesis_failure of string
+  | Check_failed of { subject : string; diags : Check.Diag.t list }
 
 let error_to_string = function
   | Io_error { path; message } -> Printf.sprintf "%s: %s" path message
@@ -54,23 +56,46 @@ let error_to_string = function
       in
       Printf.sprintf "%s: not a file nor a suite benchmark name%s" name hint
   | Synthesis_failure message -> Printf.sprintf "synthesis failed: %s" message
+  | Check_failed { subject; diags } ->
+      let errs = Check.Diag.count Check.Diag.Error diags in
+      Printf.sprintf "%s: static checks failed with %d error(s), e.g. %s"
+        subject errs
+        (match List.find_opt (fun d -> d.Check.Diag.severity = Check.Diag.Error) diags with
+        | Some d -> Format.asprintf "%a" Check.Diag.pp d
+        | None -> "(none)")
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 
-let load_spec name =
+type source = { spec : Pla.Spec.t; pla : Pla.t option; origin : string }
+
+let load_source name =
   if Sys.file_exists name && not (Sys.is_directory name) then
     match Pla.parse_file_res name with
-    | Ok pla -> Ok pla.Pla.spec
+    | Ok pla -> (
+        (* An overlapping on/off assertion is unrepresentable in the
+           dense spec (the parser resolved it last-write-wins), so the
+           only honest outcome is refusal. *)
+        match Check.Spec_lint.overlap_errors pla with
+        | [] -> Ok { spec = pla.Pla.spec; pla = Some pla; origin = name }
+        | diags -> Error (Check_failed { subject = name; diags }))
     | Error message -> Error (Parse_error { path = name; message })
   else if String.contains name '/' || Filename.check_suffix name ".pla" then
     Error (Io_error { path = name; message = "no such file" })
   else
     match Synthetic.Suite.find_opt name with
-    | Some entry -> Ok (Synthetic.Suite.load entry)
+    | Some entry ->
+        Ok { spec = Synthetic.Suite.load entry; pla = None; origin = name }
     | None ->
         Error
           (Unknown_benchmark
              { name; suggestions = Synthetic.Suite.suggestions name })
+
+let load_spec name = Stdlib.Result.map (fun s -> s.spec) (load_source name)
+
+let lint_source src =
+  match src.pla with
+  | Some pla -> Check.Spec_lint.lint_pla pla
+  | None -> Check.Spec_lint.lint src.spec
 
 let apply_strategy strategy spec =
   match strategy with
@@ -80,6 +105,21 @@ let apply_strategy strategy spec =
   | Complete -> Assign.complete spec
 
 let implement spec = Assign.conventional spec
+
+let implement_checked ?pla spec =
+  let lint =
+    match pla with
+    | Some p -> Check.Spec_lint.lint_pla p
+    | None -> Check.Spec_lint.lint spec
+  in
+  if Check.Diag.has_errors lint then
+    Error (Check_failed { subject = "spec"; diags = lint })
+  else
+    let full, covers = implement spec in
+    let cover_diags = Check.Cover_check.check_covers ~spec covers in
+    if Check.Diag.has_errors cover_diags then
+      Error (Check_failed { subject = "covers"; diags = cover_diags })
+    else Ok (full, covers)
 
 (* [implement] under a cube/time budget: an output whose raw on-cover
    already exceeds [max_cubes], or that comes up after [max_seconds]
@@ -182,7 +222,15 @@ let synthesize_common ?lib ?factored ?(budget = no_budget) ~mode ~strategy
   let sop_cubes =
     List.fold_left (fun acc c -> acc + Twolevel.Cover.size c) 0 covers
   in
-  { error_rate; report; sop_cubes; assigned_fraction; netlist = nl; degradations }
+  {
+    error_rate;
+    report;
+    sop_cubes;
+    assigned_fraction;
+    netlist = nl;
+    covers;
+    degradations;
+  }
 
 let synthesize ?lib ?factored ?budget ~mode ~strategy spec =
   synthesize_common ?lib ?factored ?budget ~mode ~strategy ~verify:false spec
@@ -195,6 +243,21 @@ let synthesize_result ?lib ?factored ?budget ~mode ~strategy spec =
   | r -> Ok r
   | exception Invalid_argument msg -> Error (Synthesis_failure msg)
   | exception Failure msg -> Error (Synthesis_failure msg)
+
+let synthesize_checked ?lib ?factored ?budget ?equiv ~mode ~strategy spec =
+  match synthesize_result ?lib ?factored ?budget ~mode ~strategy spec with
+  | Error e -> Error e
+  | Ok r ->
+      (* Check against the original spec: DC assignment may move DC
+         minterms either way, but the cared-about behaviour must
+         survive the whole flow. *)
+      let diags =
+        Check.implementation ?equiv ~include_redundancy:true ~spec
+          ~covers:r.covers ~netlist:r.netlist ()
+      in
+      if Check.Diag.has_errors diags then
+        Error (Check_failed { subject = "implementation"; diags })
+      else Ok (r, diags)
 
 let implement_shared spec =
   let ni = Spec.ni spec and no = Spec.no spec in
@@ -272,11 +335,23 @@ let synthesize_shared ?lib ~mode ~strategy spec =
   let aig = Aig.Opt.balance aig in
   let nl = Techmap.Mapper.map ~mode ~lib aig in
   let report = Techmap.Report.of_netlist nl in
+  (* Per-output view of the shared cube list, for the cover checker. *)
+  let covers =
+    List.init (Spec.no spec) (fun o ->
+        Twolevel.Cover.make ~n:(Spec.ni spec)
+          (List.filter_map
+             (fun mc ->
+               if mc.Espresso.Multi.outputs land (1 lsl o) <> 0 then
+                 Some mc.Espresso.Multi.input
+               else None)
+             mcubes))
+  in
   {
     error_rate;
     report;
     sop_cubes = List.length mcubes;
     assigned_fraction;
     netlist = nl;
+    covers;
     degradations = [];
   }

@@ -51,6 +51,11 @@ type result = {
   netlist : Netlist.t;
       (** the mapped netlist itself — for export and for gate-level
           fault-injection campaigns *)
+  covers : Twolevel.Cover.t list;
+      (** the per-output minimised SOP covers the netlist was built
+          from (derived from the shared cube list on the
+          {!synthesize_shared} path) — what {!Check.Cover_check}
+          audits *)
   degradations : degradation list;
       (** empty when the run was full-quality; see {!budget} *)
 }
@@ -68,6 +73,10 @@ type error =
   | Unknown_benchmark of { name : string; suggestions : string list }
       (** [suggestions] — near-miss suite names for diagnostics *)
   | Synthesis_failure of string
+  | Check_failed of { subject : string; diags : Check.Diag.t list }
+      (** static checks found error-severity diagnostics on [subject]
+          (a file path, benchmark name or pipeline stage); the full
+          list is carried so drivers can print or emit it as JSON *)
 
 val error_to_string : error -> string
 
@@ -75,9 +84,26 @@ val pp_error : Format.formatter -> error -> unit
 
 (** [load_spec name] resolves [name] the way the CLI does: an existing
     file parses as .pla; otherwise, a name that does not look like a
-    path is looked up in the built-in benchmark suite.  All failures
-    are structured [Error]s — this function does not raise. *)
+    path is looked up in the built-in benchmark suite.  A .pla file
+    whose product terms drive some minterm both on and off is refused
+    with [Check_failed] (code [on-off-overlap]): the dense spec cannot
+    represent the inconsistency, so accepting it would silently
+    last-write-wins it away.  All failures are structured [Error]s —
+    this function does not raise. *)
 val load_spec : string -> (Pla.Spec.t, error) Stdlib.result
+
+(** A loaded specification that remembers where it came from: for .pla
+    files the parsed {!Pla.t} is kept so term-level lints
+    ({!Check.Spec_lint.lint_pla}) can run; suite benchmarks only have
+    the dense spec. *)
+type source = { spec : Pla.Spec.t; pla : Pla.t option; origin : string }
+
+(** [load_source name] is {!load_spec} keeping the provenance. *)
+val load_source : string -> (source, error) Stdlib.result
+
+(** [lint_source src] is the spec linter appropriate to the source:
+    term-level when the raw .pla is available, dense otherwise. *)
+val lint_source : source -> Check.Diag.t list
 
 (** [apply_strategy strategy spec] is the partially assigned spec. *)
 val apply_strategy : strategy -> Pla.Spec.t -> Pla.Spec.t
@@ -85,6 +111,17 @@ val apply_strategy : strategy -> Pla.Spec.t -> Pla.Spec.t
 (** [implement spec] finishes any spec with conventional assignment
     and returns the fully specified spec plus per-output covers. *)
 val implement : Pla.Spec.t -> Pla.Spec.t * Twolevel.Cover.t list
+
+(** [implement_checked ?pla spec] is {!implement} gated by the static
+    checkers: the spec linter runs first (term-level when [pla] is
+    given) and error-severity diagnostics refuse the spec with
+    [Check_failed] before synthesis; afterwards
+    {!Check.Cover_check.check_covers} proves the produced covers
+    realise the care set, refusing likewise if they do not. *)
+val implement_checked :
+  ?pla:Pla.t ->
+  Pla.Spec.t ->
+  (Pla.Spec.t * Twolevel.Cover.t list, error) Stdlib.result
 
 (** [measured_error ~original assigned] is the mean implementation
     error rate of a fully specified [assigned] against [original]. *)
@@ -128,6 +165,23 @@ val synthesize_result :
   strategy:strategy ->
   Pla.Spec.t ->
   (result, error) Stdlib.result
+
+(** [synthesize_checked] is {!synthesize_result} followed by the full
+    {!Check.implementation} audit of the produced covers and netlist
+    against the {e original} spec (redundancy lints included).  On
+    success the non-error diagnostics (warnings, statistics) are
+    returned alongside the result; any error-severity diagnostic turns
+    the whole run into [Error (Check_failed _)].  [equiv] selects the
+    care-set equivalence engine (default [Auto]). *)
+val synthesize_checked :
+  ?lib:Techmap.Stdcell.t list ->
+  ?factored:bool ->
+  ?budget:budget ->
+  ?equiv:Check.Netlist_check.equiv_engine ->
+  mode:Techmap.Mapper.mode ->
+  strategy:strategy ->
+  Pla.Spec.t ->
+  (result * Check.Diag.t list, error) Stdlib.result
 
 (** {1 Multi-output (shared-cube) variant}
 

@@ -2,11 +2,23 @@ module Spec = Spec
 
 type pla_type = F | Fd | Fr | Fdr
 
+type term = { input : Twolevel.Cube.t; output_chars : string; line : int }
+
+type conflict = {
+  c_output : int;
+  c_minterm : int;
+  c_first : Spec.phase;
+  c_second : Spec.phase;
+  c_line : int;
+}
+
 type t = {
   spec : Spec.t;
   input_names : string array;
   output_names : string array;
   ty : pla_type;
+  terms : term list;
+  conflicts : conflict list;
 }
 
 exception Parse_error of string
@@ -69,8 +81,8 @@ let parse_string text =
   let ty = ref Fd in
   let terms = ref [] in
   let ended = ref false in
-  List.iter
-    (fun raw ->
+  List.iteri
+    (fun i raw ->
       if not !ended then
         match classify_line raw with
         | Blank -> ()
@@ -83,7 +95,7 @@ let parse_string text =
         | Directive (".type", _) -> fail ".type: expected exactly one argument"
         | Directive ((".e" | ".end"), _) -> ended := true
         | Directive (d, _) -> fail "unsupported directive %S" d
-        | Term (ins, outs) -> terms := (ins, outs) :: !terms)
+        | Term (ins, outs) -> terms := (i + 1, ins, outs) :: !terms)
     lines;
   if !ni < 0 then fail "missing or negative .i";
   if !no < 0 then fail "missing or negative .o";
@@ -92,7 +104,41 @@ let parse_string text =
   if ni > 20 then fail ".i %d exceeds dense representation limit (20)" ni;
   let default = match !ty with Fr -> Spec.Dc | F | Fd | Fdr -> Spec.Off in
   let spec = Spec.create ~ni ~no ~default in
-  let apply_term (ins, outs) =
+  (* Last explicit phase per (output, minterm): 0 = never explicitly
+     driven, else 1 + phase code; bit 3 marks "conflict already
+     recorded" so each pair reports at most once. *)
+  let size = 1 lsl ni in
+  let explicit = Bytes.make (no * size) '\000' in
+  let phase_code = function Spec.On -> 1 | Spec.Off -> 2 | Spec.Dc -> 3 in
+  let phase_of_code = function
+    | 1 -> Spec.On
+    | 2 -> Spec.Off
+    | _ -> Spec.Dc
+  in
+  let conflicts = ref [] in
+  let drive ~line ~o ~m p =
+    let idx = (o * size) + m in
+    let prev = Char.code (Bytes.get explicit idx) in
+    let prev_code = prev land 0x7 and reported = prev land 0x8 <> 0 in
+    (if prev_code <> 0 && prev_code <> phase_code p && not reported then
+       conflicts :=
+         {
+           c_output = o;
+           c_minterm = m;
+           c_first = phase_of_code prev_code;
+           c_second = p;
+           c_line = line;
+         }
+         :: !conflicts);
+    let report_bit =
+      if reported || (prev_code <> 0 && prev_code <> phase_code p) then 0x8
+      else 0
+    in
+    Bytes.set explicit idx (Char.chr (phase_code p lor report_bit));
+    Spec.set spec ~o ~m p
+  in
+  let parsed_terms = ref [] in
+  let apply_term (line, ins, outs) =
     if String.length ins <> ni then fail "term %S: expected %d inputs" ins ni;
     if String.length outs <> no then
       fail "term %S %S: expected %d outputs" ins outs no;
@@ -105,15 +151,15 @@ let parse_string text =
         String.iteri
           (fun o c ->
             match (c, !ty) with
-            | '1', _ | '4', _ -> Spec.set spec ~o ~m Spec.On
-            | ('-' | '~' | '2'), (Fd | Fdr) -> Spec.set spec ~o ~m Spec.Dc
+            | '1', _ | '4', _ -> drive ~line ~o ~m Spec.On
+            | ('-' | '~' | '2'), (Fd | Fdr) -> drive ~line ~o ~m Spec.Dc
             | ('-' | '~' | '2'), (F | Fr) -> () (* no information *)
-            | '0', (Fr | Fdr) -> Spec.set spec ~o ~m Spec.Off
+            | '0', (Fr | Fdr) -> drive ~line ~o ~m Spec.Off
             | '0', (F | Fd) -> () (* no information *)
             | c, _ -> fail "bad output character %C" c)
           outs)
       cube;
-    ()
+    parsed_terms := { input = cube; output_chars = outs; line } :: !parsed_terms
   in
   List.iter apply_term (List.rev !terms);
   let input_names, output_names =
@@ -121,7 +167,14 @@ let parse_string text =
     ( (match !ilb with Some a when Array.length a = ni -> a | _ -> di),
       match !ob with Some a when Array.length a = no -> a | _ -> dd )
   in
-  { spec; input_names; output_names; ty = !ty }
+  {
+    spec;
+    input_names;
+    output_names;
+    ty = !ty;
+    terms = List.rev !parsed_terms;
+    conflicts = List.rev !conflicts;
+  }
 
 let parse_file path =
   let ic = open_in path in

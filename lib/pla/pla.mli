@@ -19,11 +19,32 @@ module Spec = Spec
 
 type pla_type = F | Fd | Fr | Fdr
 
+(** A raw product term as it appeared in the source text: the input
+    cube, the verbatim output-character column and the 1-based source
+    line — the unit the {!Check} spec linter reasons about (the dense
+    {!Spec.t} has already resolved every term, so duplicate or
+    contradictory lines are invisible there). *)
+type term = { input : Twolevel.Cube.t; output_chars : string; line : int }
+
+(** A minterm that two product terms drive to contradictory phases.
+    [first] is the phase already recorded, [second] the later one; the
+    parser keeps espresso's last-write-wins resolution and records the
+    contradiction here (at most one per (output, minterm) pair). *)
+type conflict = {
+  c_output : int;
+  c_minterm : int;
+  c_first : Spec.phase;
+  c_second : Spec.phase;
+  c_line : int;  (** source line of the second, conflicting term *)
+}
+
 type t = {
   spec : Spec.t;
   input_names : string array;
   output_names : string array;
   ty : pla_type;
+  terms : term list;  (** raw product terms in source order *)
+  conflicts : conflict list;  (** contradictory explicit phases, source order *)
 }
 
 exception Parse_error of string

@@ -24,4 +24,5 @@ let () =
       Test_core.suite;
       Test_flow.suite;
       Test_io.suite;
+      Test_check.suite;
     ]
