@@ -5,14 +5,19 @@
      assign     apply a DC assignment strategy to a .pla, write .pla
      synth      full flow: assignment, espresso, AIG, techmap; print report
      faultsim   gate-level fault-injection campaign vs input-error rates
+     campaign   supervised multi-process fault campaign (checkpoint/resume)
      gen        generate a synthetic benchmark (.pla)
      estimate   analytical min-max reliability estimates vs exact bounds
      check      static lints + cover/netlist audits (text or JSON report)
      suite      list the built-in Table 1 benchmark suite
-     bench      parallel-determinism smoke benchmark (JSON output, for CI) *)
+     bench      parallel-determinism smoke benchmark (JSON output, for CI)
+     worker     serve supervised tasks over stdin/stdout (internal) *)
 
 open Cmdliner
 module Flow = Rdca_flow.Flow
+module Distrib = Rdca_flow.Distrib
+module Sup = Resilient.Supervisor
+module Interrupt = Resilient.Interrupt
 
 (* Resolve SPEC and run [f], turning every structured failure into a
    one-line stderr message and exit code 1 — no backtraces on bad
@@ -232,43 +237,130 @@ let synth_cmd =
       $ shared $ blif_out $ verilog_out $ cube_budget_arg
       $ espresso_seconds_arg $ jobs_arg)
 
+(* Shared by faultsim and campaign: positive/float flag validation and
+   supervised-campaign argument bundles. *)
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
+
+let trials_arg =
+  let doc = "Monte-Carlo trials per fault site (and per kind)." in
+  Arg.(value & opt int 1000 & info [ "trials" ] ~docv:"N" ~doc)
+
+let max_sites_arg =
+  let doc = "Evaluate at most $(docv) fault sites (seeded subsample)." in
+  Arg.(value & opt (some int) None & info [ "max-sites" ] ~docv:"N" ~doc)
+
+let confidence_arg =
+  let doc = "Confidence level for the Wilson intervals." in
+  Arg.(value & opt float 0.95 & info [ "confidence" ] ~docv:"C" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Write a JSON checkpoint of completed site shards to $(docv) after every \
+     shard (and on SIGINT/SIGTERM, marked interrupted)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Load the $(b,--checkpoint) file and skip shards it already contains \
+     (ignored unless its fingerprint matches this exact run)."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let campaign_arg_error ~trials ~confidence ~max_sites =
+  if trials <= 0 then Some "--trials must be positive"
+  else if not (confidence > 0.0 && confidence < 1.0) then
+    Some "--confidence must be strictly between 0 and 1"
+  else
+    match max_sites with
+    | Some n when n <= 0 -> Some "--max-sites must be positive"
+    | _ -> None
+
+(* One file per (run, strategy): the checkpoint fingerprint would
+   reject cross-strategy reuse anyway, but distinct paths keep both
+   strategies of a faultsim resumable. *)
+let checkpoint_path_for base strategy =
+  let tag =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '-')
+      (Flow.strategy_name strategy)
+  in
+  base ^ "." ^ tag
+
+let print_events events =
+  List.iter (fun e -> Fmt.pr "supervision:     %a@." Resilient.Event.pp e) events
+
+let exec_mode_name = function
+  | Sup.Processes n -> Printf.sprintf "%d worker process(es)" n
+  | Sup.Pool n -> Printf.sprintf "in-process pool (%d jobs)" n
+  | Sup.Sequential -> "sequential"
+
 let faultsim_cmd =
   let module Campaign = Reliability.Campaign in
   let module Fault_sim = Reliability.Fault_sim in
+  let module J = Rdca_json.Jsonout in
   let run input strategy mode seed trials max_sites time_budget confidence
-      max_cubes max_seconds no_baseline jobs =
+      max_cubes max_seconds no_baseline workers checkpoint resume json_out
+      jobs =
     with_jobs_opt jobs @@ fun () ->
     with_spec input @@ fun spec ->
     let bad_arg =
-      if trials <= 0 then Some "--trials must be positive"
-      else if not (confidence > 0.0 && confidence < 1.0) then
-        Some "--confidence must be strictly between 0 and 1"
-      else
-        match max_sites with
-        | Some n when n <= 0 -> Some "--max-sites must be positive"
-        | _ -> None
+      match campaign_arg_error ~trials ~confidence ~max_sites with
+      | Some m -> Some m
+      | None ->
+          if resume && checkpoint = None then
+            Some "--resume needs --checkpoint (nothing to resume from)"
+          else None
     in
     match bad_arg with
     | Some msg ->
         Fmt.epr "rdca: %s@." msg;
         1
     | None ->
+    Interrupt.install ();
     let budget = { Flow.max_cubes; max_seconds } in
     let strategies =
       if no_baseline || strategy = Flow.Conventional then [ strategy ]
       else [ Flow.Conventional; strategy ]
     in
+    (* Per-strategy campaign JSON documents accumulate here; a signal
+       mid-run flushes what exists, marked interrupted. *)
+    let docs = ref [] in
+    let write_json ~interrupted =
+      Option.iter
+        (fun path ->
+          J.write_file path
+            (J.Obj
+               [
+                 ("schema_version", J.Int 1);
+                 ("benchmark", J.String input);
+                 ("interrupted", J.Bool interrupted);
+                 ( "strategies",
+                   J.List
+                     (List.rev_map
+                        (fun (name, doc) ->
+                          J.Obj [ ("strategy", J.String name); ("campaign", doc) ])
+                        !docs) );
+               ]))
+        json_out
+    in
+    let unhook = Interrupt.on_interrupt (fun () -> write_json ~interrupted:true) in
     Fmt.pr "benchmark:       %s  (%d in, %d out, %.1f%% DC)@." input
       (Pla.Spec.ni spec) (Pla.Spec.no spec)
       (100.0 *. Pla.Spec.dc_fraction spec);
-    Fmt.pr "campaign:        seed %d, %d trials/site, %.0f%% confidence%s%s@."
+    Fmt.pr "campaign:        seed %d, %d trials/site, %.0f%% confidence%s%s%s@."
       seed trials (100.0 *. confidence)
       (match max_sites with
       | None -> ""
       | Some n -> Printf.sprintf ", <= %d sites" n)
       (match time_budget with
       | None -> ""
-      | Some s -> Printf.sprintf ", %.2fs budget" s);
+      | Some s -> Printf.sprintf ", %.2fs budget" s)
+      (match workers with
+      | None -> ""
+      | Some w -> Printf.sprintf ", %d worker process(es)" w);
     let failed = ref false in
     List.iter
       (fun strategy ->
@@ -296,42 +388,91 @@ let faultsim_cmd =
                 time_budget;
               }
             in
-            match Campaign.run config spec nl with
-            | report -> Fmt.pr "%a@." Campaign.pp_report report
-            | exception Invalid_argument msg ->
-                failed := true;
-                Fmt.epr "rdca: %s@." msg))
+            match workers with
+            | None -> (
+                match Campaign.run config spec nl with
+                | report ->
+                    Fmt.pr "%a@." Campaign.pp_report report;
+                    docs :=
+                      ( Flow.strategy_name strategy,
+                        Distrib.campaign_report_to_json report ~events:[]
+                          ~interrupted:false )
+                      :: !docs;
+                    write_json ~interrupted:false
+                | exception Invalid_argument msg ->
+                    failed := true;
+                    Fmt.epr "rdca: %s@." msg)
+            | Some w -> (
+                let opts =
+                  {
+                    Distrib.default_campaign_opts with
+                    Distrib.sup =
+                      {
+                        Sup.default with
+                        Sup.workers = w;
+                        (* Exec spawning survives earlier parallel
+                           regions; OCaml 5 forbids fork once any
+                           domain has been spawned. *)
+                        spawn = Sup.Exec [| Sys.executable_name; "worker" |];
+                      };
+                    checkpoint =
+                      Option.map
+                        (fun base -> checkpoint_path_for base strategy)
+                        checkpoint;
+                    resume;
+                  }
+                in
+                (* The supervised path ignores --time-budget: deadlines
+                   and checkpoints are its budgeting mechanism. *)
+                let config = { config with Campaign.time_budget = None } in
+                match
+                  Distrib.campaign_run opts ~input ~strategy ~mode config spec
+                    nl
+                with
+                | Error msg ->
+                    failed := true;
+                    Fmt.epr "rdca: %s@." msg
+                | Ok d ->
+                    print_events d.Distrib.events;
+                    Fmt.pr "execution:       %s@."
+                      (exec_mode_name d.Distrib.exec_mode);
+                    Fmt.pr "%a@." Campaign.pp_report d.Distrib.value;
+                    if d.Distrib.interrupted then failed := true;
+                    docs :=
+                      ( Flow.strategy_name strategy,
+                        Distrib.campaign_report_to_json d.Distrib.value
+                          ~events:d.Distrib.events
+                          ~interrupted:d.Distrib.interrupted )
+                      :: !docs;
+                    write_json ~interrupted:false)))
       strategies;
+    unhook ();
     if !failed then 1 else 0
-  in
-  let seed =
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
-  in
-  let trials =
-    let doc = "Monte-Carlo trials per fault site (and per kind)." in
-    Arg.(value & opt int 1000 & info [ "trials" ] ~docv:"N" ~doc)
-  in
-  let max_sites =
-    let doc = "Evaluate at most $(docv) fault sites (seeded subsample)." in
-    Arg.(value & opt (some int) None & info [ "max-sites" ] ~docv:"N" ~doc)
   in
   let time_budget =
     let doc =
       "Wall-clock budget for the campaign in seconds; exceeding it yields a \
-       partial report instead of an error."
+       partial report instead of an error (in-process campaigns only)."
     in
     Arg.(
       value
       & opt (some float) None
       & info [ "time-budget" ] ~docv:"SECS" ~doc)
   in
-  let confidence =
-    let doc = "Confidence level for the Wilson intervals." in
-    Arg.(value & opt float 0.95 & info [ "confidence" ] ~docv:"C" ~doc)
-  in
   let no_baseline =
     let doc = "Skip the conventional-strategy baseline comparison." in
     Arg.(value & flag & info [ "no-baseline" ] ~doc)
+  in
+  let workers =
+    let doc =
+      "Run the campaign as $(docv) supervised worker processes (see \
+       $(b,rdca campaign) for the full set of supervision knobs)."
+    in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"K" ~doc)
+  in
+  let json_out =
+    let doc = "Write the campaign reports as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
   in
   let doc =
     "Gate-level fault-injection campaign: stuck-at-0/1 and transient faults \
@@ -340,9 +481,203 @@ let faultsim_cmd =
   in
   Cmd.v (Cmd.info "faultsim" ~doc)
     Term.(
-      const run $ input_arg $ strategy_args $ mode_arg $ seed $ trials
-      $ max_sites $ time_budget $ confidence $ cube_budget_arg
-      $ espresso_seconds_arg $ no_baseline $ jobs_arg)
+      const run $ input_arg $ strategy_args $ mode_arg $ seed_arg $ trials_arg
+      $ max_sites_arg $ time_budget $ confidence_arg $ cube_budget_arg
+      $ espresso_seconds_arg $ no_baseline $ workers $ checkpoint_arg
+      $ resume_arg $ json_out $ jobs_arg)
+
+(* The supervised campaign subcommand: one strategy, full control over
+   the supervisor (workers, deadlines, retries, chaos), shard
+   checkpointing and resume.  Exit codes: 0 complete, 3 partial
+   (interrupted or permanently failed shards), 1 errors. *)
+let campaign_cmd =
+  let module Campaign = Reliability.Campaign in
+  let module J = Rdca_json.Jsonout in
+  let run input strategy mode seed trials max_sites confidence workers
+      shard_size deadline retries backoff spawn_fork checkpoint resume
+      stop_after chaos chaos_seed json_out jobs =
+    with_jobs_opt jobs @@ fun () ->
+    with_spec input @@ fun spec ->
+    let bad_arg =
+      match campaign_arg_error ~trials ~confidence ~max_sites with
+      | Some m -> Some m
+      | None ->
+          if shard_size < 1 then Some "--shard-size must be at least 1"
+          else if retries < 0 then Some "--retries must be non-negative"
+          else if not (chaos >= 0.0 && chaos <= 1.0) then
+            Some "--chaos must be between 0 and 1"
+          else if chaos > 0.0 && deadline <= 0.0 then
+            Some "--chaos needs a positive --deadline (stalled workers are \
+                  only recovered by the per-task deadline)"
+          else if resume && checkpoint = None then
+            Some "--resume needs --checkpoint (nothing to resume from)"
+          else None
+    in
+    match bad_arg with
+    | Some msg ->
+        Fmt.epr "rdca: %s@." msg;
+        1
+    | None -> (
+        Interrupt.install ();
+        match Flow.synthesize_result ~mode ~strategy spec with
+        | Error e ->
+            Fmt.epr "rdca: %s@." (Flow.error_to_string e);
+            1
+        | Ok r -> (
+            let nl = r.Flow.netlist in
+            let config =
+              {
+                Campaign.default_config with
+                Campaign.seed;
+                trials_per_site = trials;
+                confidence;
+                max_sites;
+                time_budget = None;
+              }
+            in
+            let sup =
+              {
+                Sup.default with
+                Sup.workers;
+                spawn =
+                  (* Exec is the robust default: OCaml 5 forbids fork
+                     once any domain has been spawned (e.g. by the
+                     synthesis step's pool at --jobs > 1). *)
+                  (if spawn_fork then Sup.Fork
+                   else Sup.Exec [| Sys.executable_name; "worker" |]);
+                deadline;
+                retries;
+                backoff;
+                chaos =
+                  (if chaos > 0.0 then
+                     Some
+                       {
+                         Sup.kill_fraction = chaos /. 2.0;
+                         stall_fraction = chaos /. 2.0;
+                         chaos_seed;
+                       }
+                   else None);
+              }
+            in
+            let opts =
+              { Distrib.sup; shard_size; checkpoint; resume; stop_after }
+            in
+            Fmt.pr "benchmark:       %s  (%d in, %d out)@." input
+              (Pla.Spec.ni spec) (Pla.Spec.no spec);
+            Fmt.pr "strategy:        %s, %s mode@."
+              (Flow.strategy_name strategy)
+              (Techmap.Mapper.mode_name mode);
+            Fmt.pr
+              "supervision:     %d worker(s), shard %d, deadline %.1fs, %d \
+               retries%s@."
+              workers shard_size deadline retries
+              (if chaos > 0.0 then Printf.sprintf ", chaos %.2f" chaos else "");
+            match
+              Distrib.campaign_run opts ~input ~strategy ~mode config spec nl
+            with
+            | Error msg ->
+                Fmt.epr "rdca: %s@." msg;
+                1
+            | Ok d ->
+                print_events d.Distrib.events;
+                Fmt.pr "execution:       %s@."
+                  (exec_mode_name d.Distrib.exec_mode);
+                Fmt.pr "%a@." Campaign.pp_report d.Distrib.value;
+                Option.iter
+                  (fun path ->
+                    J.write_file path
+                      (Distrib.campaign_report_to_json d.Distrib.value
+                         ~events:d.Distrib.events
+                         ~interrupted:d.Distrib.interrupted))
+                  json_out;
+                if d.Distrib.interrupted then 3 else 0))
+  in
+  let workers =
+    let doc =
+      "Supervised worker processes; 0 runs the shards in-process on the \
+       domain pool."
+    in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"K" ~doc)
+  in
+  let shard_size =
+    let doc = "Fault sites per shard (the unit of distribution and retry)." in
+    Arg.(value & opt int 4 & info [ "shard-size" ] ~docv:"N" ~doc)
+  in
+  let deadline =
+    let doc =
+      "Per-shard wall-clock deadline in seconds; 0 disables.  A worker \
+       exceeding it is killed and the shard retried."
+    in
+    Arg.(value & opt float 60.0 & info [ "deadline" ] ~docv:"SECS" ~doc)
+  in
+  let retries =
+    let doc = "Extra attempts per shard after the first." in
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff =
+    let doc =
+      "Base retry backoff in seconds (doubled per attempt, with jitter)."
+    in
+    Arg.(value & opt float 0.25 & info [ "backoff" ] ~docv:"SECS" ~doc)
+  in
+  let spawn_fork =
+    let doc =
+      "Fork workers from the current process instead of spawning fresh \
+       $(b,rdca worker) images (the default).  Forked workers inherit the \
+       synthesized netlist instead of re-synthesizing it, but OCaml 5 \
+       forbids forking after any parallel region has run — the run then \
+       degrades to in-process execution."
+    in
+    Arg.(value & flag & info [ "spawn-fork" ] ~doc)
+  in
+  let stop_after =
+    let doc =
+      "Stop after $(docv) new shards and write an interrupted checkpoint — \
+       for exercising $(b,--resume)."
+    in
+    Arg.(value & opt (some int) None & info [ "stop-after" ] ~docv:"N" ~doc)
+  in
+  let chaos =
+    let doc =
+      "Chaos test mode: sabotage this fraction of first shard attempts \
+       (half killed mid-task, half stalled past the deadline).  Results \
+       must still be bit-identical to an undisturbed run."
+    in
+    Arg.(value & opt float 0.0 & info [ "chaos" ] ~docv:"F" ~doc)
+  in
+  let chaos_seed =
+    let doc = "Seed for the chaos-injection hash." in
+    Arg.(value & opt int 7 & info [ "chaos-seed" ] ~docv:"S" ~doc)
+  in
+  let json_out =
+    let doc = "Write the campaign report (with supervision log) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Supervised multi-process fault-injection campaign with deadlines, \
+     retry/backoff, checkpoint/resume and chaos testing"
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(
+      const run $ input_arg $ strategy_args $ mode_arg $ seed_arg $ trials_arg
+      $ max_sites_arg $ confidence_arg $ workers $ shard_size $ deadline
+      $ retries $ backoff $ spawn_fork $ checkpoint_arg $ resume_arg
+      $ stop_after $ chaos $ chaos_seed $ json_out $ jobs_arg)
+
+(* Worker side of the supervision protocol: a frame loop on
+   stdin/stdout executing Distrib.dispatch.  Spawned by the campaign
+   and faultsim supervisors; of no use interactively. *)
+let worker_cmd =
+  let run () =
+    (* Tasks are the unit of parallelism; each worker computes
+       sequentially. *)
+    Parallel.Pool.set_default_jobs 1;
+    Resilient.Worker.serve ~handler:Distrib.dispatch ~input:Unix.stdin
+      ~output:Unix.stdout ();
+    0
+  in
+  let doc = "Serve supervised campaign/sweep tasks over stdin/stdout (internal)" in
+  Cmd.v (Cmd.info "worker" ~doc) Term.(const run $ const ())
 
 let gen_cmd =
   let run ni no dc cf seed out =
@@ -498,12 +833,30 @@ let bench_cmd =
   let module K = Bitvec.Bv.Kernel in
   let run jobs json_path =
     with_jobs_opt jobs @@ fun () ->
+    Interrupt.install ();
     let n_jobs = Pool.default_jobs () in
     let time f =
       let t0 = Unix.gettimeofday () in
       let r = f () in
       (Unix.gettimeofday () -. t0, r)
     in
+    let t_start = Unix.gettimeofday () in
+    (* Sections land here as they complete, so an interrupt can flush
+       the ones that finished. *)
+    let entries = ref [] in
+    let write_json ~interrupted =
+      J.write_file json_path
+        (J.Obj
+           [
+             ("schema_version", J.Int 3);
+             ("jobs", J.Int n_jobs);
+             ("full", J.Bool false);
+             ("interrupted", J.Bool interrupted);
+             ("sections", J.List (List.rev !entries));
+             ("total_seconds", J.Float (Unix.gettimeofday () -. t_start));
+           ])
+    in
+    let unhook = Interrupt.on_interrupt (fun () -> write_json ~interrupted:true) in
     let mismatches = ref [] in
     (* Triple-run a section body and render its JSON entry. *)
     let triple ~name ~scalars work =
@@ -544,7 +897,7 @@ let bench_cmd =
       (entry, ts +. t1 +. tn, rn)
     in
     let names = [ "bench"; "fout"; "p3" ] in
-    let table3_entry, table3_time, table3_rows =
+    let table3_entry, _table3_time, table3_rows =
       triple ~name:"smoke-table3"
         ~scalars:(fun rn ->
           List.map
@@ -552,6 +905,7 @@ let bench_cmd =
             rn)
         (fun () -> E.table3 ~names ())
     in
+    entries := table3_entry :: !entries;
     List.iter
       (fun r ->
         Fmt.pr "%-8s gates %4d  conv rate %.4f  exact lo %.4f@." r.E.t3_name
@@ -564,7 +918,7 @@ let bench_cmd =
       Array.init (Pla.Spec.no spec) (fun o -> Pla.Spec.on_bv spec ~o)
     in
     let repeats = 100 in
-    let errbounds_entry, errbounds_time, (eb_bounds, eb_rate) =
+    let errbounds_entry, _errbounds_time, (eb_bounds, eb_rate) =
       triple ~name:"errbounds-ex1010"
         ~scalars:(fun (b, r) ->
           [
@@ -585,15 +939,9 @@ let bench_cmd =
       (Reliability.Error_rate.min_rate eb_bounds)
       (Reliability.Error_rate.max_rate eb_bounds)
       eb_rate;
-    J.write_file json_path
-      (J.Obj
-         [
-           ("schema_version", J.Int 3);
-           ("jobs", J.Int n_jobs);
-           ("full", J.Bool false);
-           ("sections", J.List [ table3_entry; errbounds_entry ]);
-           ("total_seconds", J.Float (table3_time +. errbounds_time));
-         ]);
+    entries := errbounds_entry :: !entries;
+    write_json ~interrupted:false;
+    unhook ();
     Fmt.pr "wrote %s@." json_path;
     match !mismatches with
     | [] -> 0
@@ -617,8 +965,8 @@ let main =
   let info = Cmd.info "rdca" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      stats_cmd; assign_cmd; synth_cmd; faultsim_cmd; gen_cmd; estimate_cmd;
-      check_cmd; suite_cmd; bench_cmd;
+      stats_cmd; assign_cmd; synth_cmd; faultsim_cmd; campaign_cmd; gen_cmd;
+      estimate_cmd; check_cmd; suite_cmd; bench_cmd; worker_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -59,7 +59,7 @@ let fig2 ?(targets = default_fig2_targets) ?(per_target = 3) ~rng () =
             (target, Synthetic.Synth_gen.output ~rng params)))
       targets
   in
-  Parallel.Pool.map_list
+  Parallel.Pool.map_list ~chunk:1
     (fun (target, s) ->
       let cover =
         Espresso.Dense.minimize ~n:10 ~on:(Spec.on_bv s ~o:0)
@@ -96,32 +96,41 @@ let suite_specs ?names () =
   | Some names ->
       List.filter (fun (e, _) -> List.mem e.Suite.name names) all
 
-let sweep ?(fractions = default_fractions) ?names () =
+(* One sweep cell is a pure function of (spec, fraction): the unit of
+   work for both the in-process fan-out below and the multi-process
+   distribution layer (Distrib). *)
+let sweep_cell_of_spec spec fraction =
   let lib = Techmap.Stdcell.default_library () in
+  let partial = Flow.apply_strategy (Flow.Ranking fraction) spec in
+  let full, covers = Flow.implement partial in
+  let error = Flow.measured_error ~original:spec full in
+  let build mode =
+    let aig = Aig.of_covers ~ni:(Spec.ni spec) covers in
+    let aig = Aig.Opt.balance aig in
+    Report.of_netlist (Mapper.map ~mode ~lib aig)
+  in
+  {
+    sw_error = error;
+    sw_delay_mode = build Mapper.Delay;
+    sw_power_mode = build Mapper.Power;
+  }
+
+let sweep_cell_by_name ~name ~fraction =
+  sweep_cell_of_spec (Suite.load_by_name name) fraction
+
+let sweep ?(fractions = default_fractions) ?names () =
   let specs = Array.of_list (suite_specs ?names ()) in
   let nfr = Array.length fractions in
   (* Flatten to (benchmark, fraction) cells: a finer grain than
      per-benchmark fan-out, so a single slow benchmark doesn't leave
      the other domains idle. *)
   let cells =
-    Parallel.Pool.init
+    Parallel.Pool.init ~chunk:1
       (Array.length specs * nfr)
       (fun idx ->
         let _, spec = specs.(idx / nfr) in
         let fraction = fractions.(idx mod nfr) in
-        let partial = Flow.apply_strategy (Flow.Ranking fraction) spec in
-        let full, covers = Flow.implement partial in
-        let error = Flow.measured_error ~original:spec full in
-        let build mode =
-          let aig = Aig.of_covers ~ni:(Spec.ni spec) covers in
-          let aig = Aig.Opt.balance aig in
-          Report.of_netlist (Mapper.map ~mode ~lib aig)
-        in
-        {
-          sw_error = error;
-          sw_delay_mode = build Mapper.Delay;
-          sw_power_mode = build Mapper.Power;
-        })
+        sweep_cell_of_spec spec fraction)
   in
   List.mapi
     (fun si (e, _) ->
@@ -236,7 +245,7 @@ let fig6 ?(families = [ 0.5; 0.6; 0.7; 0.8; 0.9 ]) ?(funcs_per_family = 2)
       fractions
   in
   let all_trajs =
-    Array.of_list (Parallel.Pool.map_list traj_of_spec all_specs)
+    Array.of_list (Parallel.Pool.map_list ~chunk:1 traj_of_spec all_specs)
   in
   List.mapi
     (fun fi cf ->
@@ -294,7 +303,7 @@ let table2 ?(threshold = 0.55) ?names () =
   let lib = Techmap.Stdcell.default_library () in
   let mode = Mapper.Area in
   (* Rows are independent benchmarks: fan out one row per task. *)
-  Parallel.Pool.map_list
+  Parallel.Pool.map_list ~chunk:1
     (fun (e, spec) ->
       let run strategy = Flow.synthesize ~lib ~mode ~strategy spec in
       let conv = run Flow.Conventional in
@@ -344,7 +353,7 @@ type t3_row = {
 let table3 ?(threshold = 0.55) ?names () =
   let lib = Techmap.Stdcell.default_library () in
   (* Rows are independent benchmarks: fan out one row per task. *)
-  Parallel.Pool.map_list
+  Parallel.Pool.map_list ~chunk:1
     (fun (e, spec) ->
       let b = ER.mean_bounds spec in
       let exact_lo = ER.min_rate b and exact_hi = ER.max_rate b in

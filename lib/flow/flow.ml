@@ -153,7 +153,7 @@ let implement_budgeted ~budget spec =
      deterministic, order-defined notion. *)
   let cells =
     match budget.max_seconds with
-    | None -> Array.to_list (Parallel.Pool.init no minimise)
+    | None -> Array.to_list (Parallel.Pool.init ~chunk:1 no minimise)
     | Some _ -> List.init no minimise
   in
   (* DC assignment mutates the spec copy; done sequentially in output

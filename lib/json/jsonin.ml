@@ -1,0 +1,234 @@
+module J = Jsonout
+
+exception Fail of int * string
+
+type state = { s : string; mutable pos : int }
+
+let fail st msg = raise (Fail (st.pos, msg))
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+(* [lit st "rue" v] matches the tail of a keyword whose head character
+   was already consumed. *)
+let lit st tail v =
+  String.iter (fun c -> expect st c) tail;
+  v
+
+let utf8_of_code b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let d =
+      match peek st with
+      | Some ('0' .. '9' as c) -> Char.code c - Char.code '0'
+      | Some ('a' .. 'f' as c) -> Char.code c - Char.code 'a' + 10
+      | Some ('A' .. 'F' as c) -> Char.code c - Char.code 'A' + 10
+      | _ -> fail st "bad \\u escape"
+    in
+    advance st;
+    v := (!v * 16) + d
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' -> advance st; Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance st; Buffer.add_char b '\\'; go ()
+        | Some '/' -> advance st; Buffer.add_char b '/'; go ()
+        | Some 'b' -> advance st; Buffer.add_char b '\b'; go ()
+        | Some 'f' -> advance st; Buffer.add_char b '\012'; go ()
+        | Some 'n' -> advance st; Buffer.add_char b '\n'; go ()
+        | Some 'r' -> advance st; Buffer.add_char b '\r'; go ()
+        | Some 't' -> advance st; Buffer.add_char b '\t'; go ()
+        | Some 'u' ->
+            advance st;
+            let code = hex4 st in
+            let code =
+              (* surrogate pair *)
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                expect st '\\';
+                expect st 'u';
+                let lo = hex4 st in
+                if lo < 0xDC00 || lo > 0xDFFF then fail st "bad surrogate pair";
+                0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+              end
+              else code
+            in
+            utf8_of_code b code;
+            go ()
+        | _ -> fail st "bad escape")
+    | Some c ->
+        advance st;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let consume_digits () =
+    let got = ref false in
+    let rec go () =
+      match peek st with
+      | Some '0' .. '9' ->
+          got := true;
+          advance st;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    if not !got then fail st "expected digit"
+  in
+  if peek st = Some '-' then advance st;
+  consume_digits ();
+  if peek st = Some '.' then begin
+    is_float := true;
+    advance st;
+    consume_digits ()
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      consume_digits ()
+  | _ -> ());
+  let tok = String.sub st.s start (st.pos - start) in
+  if !is_float then J.Float (float_of_string tok)
+  else
+    match int_of_string_opt tok with
+    | Some i -> J.Int i
+    | None -> J.Float (float_of_string tok)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> advance st; lit st "ull" J.Null
+  | Some 't' -> advance st; lit st "rue" (J.Bool true)
+  | Some 'f' -> advance st; lit st "alse" (J.Bool false)
+  | Some '"' -> J.String (parse_string st)
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        J.List []
+      end
+      else begin
+        let items = ref [ parse_value st ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          advance st;
+          items := parse_value st :: !items;
+          skip_ws st
+        done;
+        expect st ']';
+        J.List (List.rev !items)
+      end
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        J.Obj []
+      end
+      else begin
+        let pair () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (k, v)
+        in
+        let items = ref [ pair () ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          advance st;
+          items := pair () :: !items;
+          skip_ws st
+        done;
+        expect st '}';
+        J.Obj (List.rev !items)
+      end
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let parse s =
+  let st = { s; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then fail st "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (pos, msg) ->
+      Error (Printf.sprintf "JSON parse error at byte %d: %s" pos msg)
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> parse s
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated read")
+
+let member k = function
+  | J.Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_int = function J.Int i -> Some i | _ -> None
+
+let to_float = function
+  | J.Float f -> Some f
+  | J.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string = function J.String s -> Some s | _ -> None
+let to_bool = function J.Bool b -> Some b | _ -> None
+let to_list = function J.List l -> Some l | _ -> None

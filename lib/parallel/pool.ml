@@ -74,6 +74,13 @@ let worker t () =
   in
   loop ()
 
+(* OCaml 5 refuses [Unix.fork] in any process that has *ever* spawned
+   a second domain, even one long since joined — record the fact so
+   fork-based facilities (Resilient.Supervisor) can degrade up front
+   instead of failing per attempt. *)
+let spawned_domains = ref false
+let fork_safe () = not !spawned_domains
+
 let create ~jobs =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let t =
@@ -87,6 +94,7 @@ let create ~jobs =
       domains = [];
     }
   in
+  if jobs > 1 then spawned_domains := true;
   t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
   t
 
@@ -189,21 +197,53 @@ let with_jobs j f =
   set_default_jobs j;
   Fun.protect ~finally:(fun () -> set_default_jobs saved) f
 
+let quiesce () =
+  Option.iter shutdown !shared_pool;
+  shared_pool := None
+
+let fork_reset () =
+  (* In a forked child the parent's worker domains do not exist; drop
+     the handle without joining them and run sequentially from now
+     on.  The at_exit hook then finds no pool to shut down. *)
+  shared_pool := None;
+  spawned_domains := false;
+  default := Some 1
+
 (* ------------------------------------------------------------------ *)
 (* Chunked operations.                                                 *)
 
 let resolve = function Some t -> t | None -> shared ()
-let sequential t = t.jobs = 1 || Domain.DLS.get in_task
 
-let for_ ?pool ?(chunk = 1) n f =
-  if chunk < 1 then invalid_arg "Pool.for_: chunk must be >= 1";
+(* Default chunk size: enough chunks for dynamic load balancing
+   (roughly eight claims per domain on large inputs) without paying
+   one mutex handoff per item on fine-grained loops.  The floor of
+   [min_chunk] items means inputs at or under it run sequentially —
+   and, below, without even instantiating the shared pool.  Callers
+   whose items are individually expensive (whole-benchmark synthesis
+   runs, fault-site blocks) pass [~chunk:1] explicitly to keep
+   per-item balancing. *)
+let min_chunk = 4
+let default_chunk ~jobs n = max min_chunk (n / (8 * jobs))
+
+let for_ ?pool ?chunk n f =
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.for_: chunk must be >= 1"
+  | _ -> ());
   if n > 0 then begin
-    let t = resolve pool in
-    if sequential t || n <= chunk then
+    (* Job count resolved without touching the shared pool: sub-chunk
+       inputs must not pay domain spin-up. *)
+    let jobs =
+      match pool with Some t -> t.jobs | None -> default_jobs ()
+    in
+    let chunk =
+      match chunk with Some c -> c | None -> default_chunk ~jobs n
+    in
+    if jobs = 1 || n <= chunk || Domain.DLS.get in_task then
       for i = 0 to n - 1 do
         f i
       done
     else
+      let t = resolve pool in
       let chunks = ((n - 1) / chunk) + 1 in
       run_batch t ~chunks (fun k ->
           let lo = k * chunk and hi = min n ((k + 1) * chunk) - 1 in

@@ -58,14 +58,40 @@ val with_jobs : int -> (unit -> 'a) -> 'a
     Used by the differential tests and the bench harness to compare
     job counts within one process. *)
 
+val quiesce : unit -> unit
+(** Shut down (and join) the shared pool if it exists; it is lazily
+    re-created by the next parallel operation.  Call before forking
+    worker processes so the child is created from a single-domain
+    parent. *)
+
+val fork_reset : unit -> unit
+(** To be called first thing in a forked child: abandons the parent's
+    shared pool handle without joining (the parent's domains do not
+    exist in the child) and pins the default job count to 1, so the
+    child runs all parallel operations sequentially. *)
+
+val fork_safe : unit -> bool
+(** Whether [Unix.fork] is still available in this process.  OCaml 5
+    forbids forking in any process that has {e ever} spawned a second
+    domain — even one already joined — so this latches to [false] the
+    first time a multi-job pool spins up (and resets in a forked
+    child via {!fork_reset}). *)
+
 (** {1 Chunked parallel operations}
 
     All operations take the work from index [0] to [n - 1], cut it
-    into chunks of [chunk] consecutive indices (default 1 — right for
-    the coarse tasks of this code base), and run the chunks on [pool]
-    (default {!shared}).  If a task raises, the first exception (in
-    completion order) is re-raised in the caller after the region
-    drains; remaining unclaimed chunks are cancelled. *)
+    into chunks of [chunk] consecutive indices and run the chunks on
+    [pool] (default {!shared}).  The default chunk size adapts to the
+    input: large inputs get about eight chunks per domain (amortising
+    the per-chunk handoff), and inputs of at most four items run
+    sequentially {e without instantiating the pool at all} — tiny
+    regions no longer pay domain spin-up or handoff.  Callers whose
+    items are individually expensive (seconds-scale synthesis tasks)
+    pass [~chunk:1] to keep per-item dynamic balancing; the
+    chunk -> index mapping never affects results either way.  If a
+    task raises, the first exception (in completion order) is
+    re-raised in the caller after the region drains; remaining
+    unclaimed chunks are cancelled. *)
 
 val for_ : ?pool:t -> ?chunk:int -> int -> (int -> unit) -> unit
 (** [for_ n f] runs [f 0 .. f (n-1)].  [f] must only write state

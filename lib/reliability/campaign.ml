@@ -73,17 +73,64 @@ let select_sites ~seed ~max_sites sites =
       done;
       List.sort compare (Array.to_list (Array.sub arr 0 k))
 
-let run ?(checkpoint = fun _ -> ()) config spec nl =
+let validate_config name config spec nl =
   if Netlist.ni nl <> Spec.ni spec then
-    invalid_arg "Campaign.run: input count mismatch";
+    invalid_arg (name ^ ": input count mismatch");
   if config.trials_per_site <= 0 then
-    invalid_arg "Campaign.run: trials_per_site must be positive";
-  if config.kinds = [] then invalid_arg "Campaign.run: no fault kinds";
-  let sites =
-    Array.of_list
-      (select_sites ~seed:config.seed ~max_sites:config.max_sites
-         (Inject.sites nl))
-  in
+    invalid_arg (name ^ ": trials_per_site must be positive");
+  if config.kinds = [] then invalid_arg (name ^ ": no fault kinds")
+
+let selected_sites config nl =
+  select_sites ~seed:config.seed ~max_sites:config.max_sites (Inject.sites nl)
+
+(* One work item = one site (all its kinds).  Every (site, kind) pair
+   draws from an RNG derived from the master seed alone, so evaluating
+   sites concurrently — across domains or across worker processes —
+   cannot change any rate. *)
+let eval_site config spec nl site =
+  let gate = Netlist.Gate.name (Netlist.gate nl site) in
+  List.map
+    (fun kind ->
+      let rng = Random.State.make [| config.seed; site; kind_tag kind |] in
+      let r =
+        Inject.run ~rng ~trials:config.trials_per_site spec nl
+          { Inject.node = site; kind }
+      in
+      let events = r.Inject.trials * Spec.no spec in
+      let ci =
+        Stats.wilson_interval ~confidence:config.confidence ~trials:events
+          ~successes:r.Inject.propagated
+      in
+      {
+        site;
+        gate;
+        kind;
+        trials = r.Inject.trials;
+        events;
+        propagated = r.Inject.propagated;
+        rate = r.Inject.rate;
+        ci;
+      })
+    config.kinds
+
+let run_sites config spec nl sites =
+  validate_config "Campaign.run_sites" config spec nl;
+  List.concat_map (eval_site config spec nl) sites
+
+let of_results config ~sites_total ~complete ~elapsed results =
+  let per_site = max 1 (List.length config.kinds) in
+  {
+    config;
+    results;
+    sites_total;
+    sites_done = List.length results / per_site;
+    complete;
+    elapsed;
+  }
+
+let run ?(checkpoint = fun _ -> ()) config spec nl =
+  validate_config "Campaign.run" config spec nl;
+  let sites = Array.of_list (selected_sites config nl) in
   let sites_total = Array.length sites in
   let t0 = Unix.gettimeofday () in
   let results = ref [] in
@@ -99,35 +146,7 @@ let run ?(checkpoint = fun _ -> ()) config spec nl =
       elapsed = Unix.gettimeofday () -. t0;
     }
   in
-  (* One work item = one site (all its kinds).  Every (site, kind)
-     pair draws from an RNG derived from the master seed alone, so
-     evaluating sites concurrently cannot change any rate. *)
-  let eval_site site =
-    let gate = Netlist.Gate.name (Netlist.gate nl site) in
-    List.map
-      (fun kind ->
-        let rng = Random.State.make [| config.seed; site; kind_tag kind |] in
-        let r =
-          Inject.run ~rng ~trials:config.trials_per_site spec nl
-            { Inject.node = site; kind }
-        in
-        let events = r.Inject.trials * Spec.no spec in
-        let ci =
-          Stats.wilson_interval ~confidence:config.confidence ~trials:events
-            ~successes:r.Inject.propagated
-        in
-        {
-          site;
-          gate;
-          kind;
-          trials = r.Inject.trials;
-          events;
-          propagated = r.Inject.propagated;
-          rate = r.Inject.rate;
-          ci;
-        })
-      config.kinds
-  in
+  let eval_site = eval_site config spec nl in
   let pool = Parallel.Pool.shared () in
   (* Sites are swept in blocks; the time budget is checked between
      blocks.  The first block is a single site, so an undersized
@@ -150,7 +169,7 @@ let run ?(checkpoint = fun _ -> ()) config spec nl =
          if !idx = 0 then 1 else min block_size (sites_total - !idx)
        in
        let block =
-         Parallel.Pool.map ~pool eval_site (Array.sub sites !idx len)
+         Parallel.Pool.map ~pool ~chunk:1 eval_site (Array.sub sites !idx len)
        in
        Array.iter
          (fun site_results ->
@@ -192,6 +211,65 @@ let pooled report =
       in
       { p_kind = kind; p_sites; p_events; p_propagated; p_rate; p_ci; p_worst })
     report.config.kinds
+
+(* JSON codecs for distributing site work across worker processes.
+   Jsonout prints floats with %.17g and Jsonin parses them back with
+   [float_of_string], so a decode (encode r) round-trip is
+   bit-identical — the property the supervised campaign's
+   merge-equals-sequential guarantee rests on. *)
+
+module J = Rdca_json.Jsonout
+module Jin = Rdca_json.Jsonin
+
+let config_to_json c =
+  J.Obj
+    [
+      ("seed", J.Int c.seed);
+      ("trials_per_site", J.Int c.trials_per_site);
+      ("confidence", J.Float c.confidence);
+      ("kinds", J.List (List.map (fun k -> J.String (Inject.kind_name k)) c.kinds));
+      ( "max_sites",
+        match c.max_sites with Some k -> J.Int k | None -> J.Null );
+    ]
+
+let site_result_to_json r =
+  let lo, hi = r.ci in
+  J.Obj
+    [
+      ("site", J.Int r.site);
+      ("gate", J.String r.gate);
+      ("kind", J.String (Inject.kind_name r.kind));
+      ("trials", J.Int r.trials);
+      ("events", J.Int r.events);
+      ("propagated", J.Int r.propagated);
+      ("rate", J.Float r.rate);
+      ("ci_lo", J.Float lo);
+      ("ci_hi", J.Float hi);
+    ]
+
+let site_result_of_json v =
+  let field name conv =
+    match Option.bind (Jin.member name v) conv with
+    | Some x -> Ok x
+    | None ->
+        Error (Printf.sprintf "site result: missing or bad %S field" name)
+  in
+  let ( let* ) = Result.bind in
+  let* site = field "site" Jin.to_int in
+  let* gate = field "gate" Jin.to_string in
+  let* kind_name = field "kind" Jin.to_string in
+  let* kind =
+    match Inject.kind_of_name kind_name with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "site result: unknown kind %S" kind_name)
+  in
+  let* trials = field "trials" Jin.to_int in
+  let* events = field "events" Jin.to_int in
+  let* propagated = field "propagated" Jin.to_int in
+  let* rate = field "rate" Jin.to_float in
+  let* lo = field "ci_lo" Jin.to_float in
+  let* hi = field "ci_hi" Jin.to_float in
+  Ok { site; gate; kind; trials; events; propagated; rate; ci = (lo, hi) }
 
 let pp_report ppf report =
   let status = if report.complete then "complete" else "PARTIAL" in

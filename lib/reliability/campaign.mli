@@ -68,6 +68,55 @@ type pooled = {
   p_worst : site_result option;
 }
 
+(** {1 Sharding primitives}
+
+    A campaign is embarrassingly parallel over sites: these entry
+    points let a distribution layer (see [Flow.Distrib]) split the
+    site list into shards, evaluate shards in separate worker
+    processes, and reassemble a report bit-identical to {!run}. *)
+
+(** [selected_sites config nl] — the exact site list {!run} would
+    sweep, in sweep (topological) order. *)
+val selected_sites : config -> Netlist.t -> int list
+
+(** [eval_site config spec nl site] — the results for one site, one
+    per kind in [config.kinds] order; pure given its arguments. *)
+val eval_site : config -> Pla.Spec.t -> Netlist.t -> int -> site_result list
+
+(** [run_sites config spec nl sites] evaluates a shard sequentially.
+    Concatenating shard outputs in site order equals the [results]
+    field of a full {!run}.
+    @raise Invalid_argument as {!run}. *)
+val run_sites :
+  config -> Pla.Spec.t -> Netlist.t -> int list -> site_result list
+
+(** [of_results config ~sites_total ~complete ~elapsed results]
+    rebuilds a report from merged shard results (in sweep order);
+    [sites_done] is inferred from the result count. *)
+val of_results :
+  config ->
+  sites_total:int ->
+  complete:bool ->
+  elapsed:float ->
+  site_result list ->
+  report
+
+(** {1 JSON codecs}
+
+    [Rdca_json] round-trips floats exactly ([%.17g] out,
+    [float_of_string] in), so
+    [site_result_of_json (site_result_to_json r) = Ok r] — shard
+    results survive the worker pipe bit-identically. *)
+
+val config_to_json : config -> Rdca_json.Jsonout.t
+(** Campaign parameters as JSON — the checkpoint fingerprint
+    ingredient covering the campaign configuration. *)
+
+val site_result_to_json : site_result -> Rdca_json.Jsonout.t
+
+val site_result_of_json :
+  Rdca_json.Jsonout.t -> (site_result, string) result
+
 (** [run ?checkpoint config spec nl] sweeps the campaign.
     [checkpoint] (default ignore) receives the partial report after
     every completed site — the hook for persisting partial results.

@@ -1,0 +1,91 @@
+module J = Rdca_json.Jsonout
+module Jin = Rdca_json.Jsonin
+
+type t = {
+  kind : string;
+  key : J.t;
+  total : int;
+  interrupted : bool;
+  shards : (int * J.t) list;
+}
+
+let to_json t =
+  J.Obj
+    [
+      ("schema", J.Int 1);
+      ("kind", J.String t.kind);
+      ("key", t.key);
+      ("total", J.Int t.total);
+      ("interrupted", J.Bool t.interrupted);
+      ( "shards",
+        J.List
+          (List.map
+             (fun (id, value) ->
+               J.Obj [ ("id", J.Int id); ("value", value) ])
+             t.shards) );
+    ]
+
+let save path t =
+  let tmp = path ^ ".tmp" in
+  J.write_file tmp (to_json t);
+  Sys.rename tmp path
+
+let field name conv v =
+  match Option.bind (Jin.member name v) conv with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "checkpoint: missing or bad %S field" name)
+
+let ( let* ) = Result.bind
+
+let of_json v =
+  let* schema = field "schema" Jin.to_int v in
+  if schema <> 1 then
+    Error (Printf.sprintf "checkpoint: unsupported schema %d" schema)
+  else
+    let* kind = field "kind" Jin.to_string v in
+    let* key =
+      match Jin.member "key" v with
+      | Some k -> Ok k
+      | None -> Error "checkpoint: missing \"key\" field"
+    in
+    let* total = field "total" Jin.to_int v in
+    let* interrupted = field "interrupted" Jin.to_bool v in
+    let* shard_list = field "shards" Jin.to_list v in
+    let* shards =
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          let* id = field "id" Jin.to_int s in
+          let* value =
+            match Jin.member "value" s with
+            | Some x -> Ok x
+            | None -> Error "checkpoint: shard missing \"value\""
+          in
+          Ok ((id, value) :: acc))
+        (Ok []) shard_list
+    in
+    Ok { kind; key; total; interrupted; shards = List.rev shards }
+
+let load path =
+  match Jin.parse_file path with
+  | Error e -> Error e
+  | Ok v -> of_json v
+
+let resume ~path ~kind ~key ~total =
+  if not (Sys.file_exists path) then ([], None)
+  else
+    match load path with
+    | Error e -> ([], Some e)
+    | Ok c ->
+        if c.kind <> kind then
+          ([], Some (Printf.sprintf "checkpoint is for %S, not %S" c.kind kind))
+        else if c.total <> total then
+          ( [],
+            Some
+              (Printf.sprintf "checkpoint has %d shards, run has %d" c.total
+                 total) )
+        else if c.key <> key then
+          ([], Some "checkpoint fingerprint does not match this run")
+        else
+          ( List.sort (fun (a, _) (b, _) -> compare a b) c.shards,
+            None )

@@ -1,0 +1,36 @@
+(** Periodic JSON checkpoints for long supervised runs.
+
+    A checkpoint records which shards of a run have completed, keyed by
+    a caller-supplied fingerprint of everything that determines the
+    shard values (input, configuration, shard size...).  On resume the
+    fingerprint is compared: a match lets the run skip completed shards
+    and merge bit-identically with a fresh one; a mismatch discards the
+    file — stale results are worse than recomputation.
+
+    Writes are atomic (temp file + rename) so an interrupt mid-write
+    leaves the previous checkpoint intact. *)
+
+type t = {
+  kind : string;  (** what is being sharded, e.g. ["campaign"] *)
+  key : Rdca_json.Jsonout.t;  (** run fingerprint; compared structurally *)
+  total : int;  (** shard count of the full run *)
+  interrupted : bool;
+      (** the writer stopped early (signal, [--stop-after]) *)
+  shards : (int * Rdca_json.Jsonout.t) list;
+      (** completed (shard id, shard value), ascending id *)
+}
+
+val save : string -> t -> unit
+(** [save path t] writes atomically ([path ^ ".tmp"], then rename). *)
+
+val load : string -> (t, string) result
+(** Parse a checkpoint file.  [Error] on IO or schema problems. *)
+
+val resume :
+  path:string -> kind:string -> key:Rdca_json.Jsonout.t -> total:int ->
+  (int * Rdca_json.Jsonout.t) list * string option
+(** [resume ~path ~kind ~key ~total] is [(shards, rejected)]: the
+    completed shards of a checkpoint matching all three of [kind],
+    [key] and [total], else [[]].  [rejected] carries a reason when a
+    checkpoint existed but was unusable (fingerprint mismatch, parse
+    error); a missing file is simply [([], None)]. *)

@@ -1,0 +1,125 @@
+module J = Rdca_json.Jsonout
+
+exception Protocol_error of string
+
+(* 8 hex digits bound a frame at 4 GiB; anything over this limit is a
+   protocol bug, not a workload. *)
+let max_frame = 1 lsl 30
+
+let encode v =
+  let payload = J.to_string v in
+  let n = String.length payload in
+  if n > max_frame then raise (Protocol_error "frame too large");
+  Printf.sprintf "%08x\n%s" n payload
+
+let write fd v =
+  let s = Bytes.unsafe_of_string (encode v) in
+  let len = Bytes.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd s !off (len - !off)
+  done
+
+type decoder = {
+  buf : Buffer.t;
+  mutable ready : J.t list; (* decoded by [read] but not yet returned *)
+  tolerant : bool; (* resync over junk until the first valid frame *)
+  mutable synced : bool; (* a valid frame has been decoded *)
+}
+
+let decoder ?(tolerate_noise = false) () =
+  {
+    buf = Buffer.create 4096;
+    ready = [];
+    tolerant = tolerate_noise;
+    synced = false;
+  }
+
+(* Junk without a newline can't be resynced past; don't buffer it
+   forever. *)
+let max_noise = 65536
+
+let hex_header s =
+  let v = ref 0 in
+  (try
+     String.iter
+       (fun c ->
+         let d =
+           match c with
+           | '0' .. '9' -> Char.code c - Char.code '0'
+           | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+           | _ -> raise Exit
+         in
+         v := (!v * 16) + d)
+       s
+   with Exit ->
+     raise (Protocol_error (Printf.sprintf "bad frame header %S" s)));
+  !v
+
+(* Extract every complete frame currently in the buffer; the unparsed
+   remainder is retained.  A tolerant decoder that has not yet seen a
+   valid frame resyncs past junk at line boundaries instead of raising
+   — worker binaries sometimes leak a diagnostic line onto stdout
+   before their serve loop takes over the descriptor. *)
+let drain d =
+  let data = Buffer.contents d.buf in
+  let total = String.length data in
+  let pos = ref 0 in
+  let out = ref [] in
+  let continue = ref true in
+  let step () =
+    if total - !pos < 9 then continue := false
+    else begin
+      let len = hex_header (String.sub data !pos 8) in
+      if len > max_frame then raise (Protocol_error "frame too large");
+      if data.[!pos + 8] <> '\n' then
+        raise (Protocol_error "missing frame header terminator");
+      if total - !pos - 9 < len then continue := false
+      else begin
+        let payload = String.sub data (!pos + 9) len in
+        (match Rdca_json.Jsonin.parse payload with
+        | Ok v -> out := v :: !out
+        | Error e -> raise (Protocol_error e));
+        pos := !pos + 9 + len;
+        d.synced <- true
+      end
+    end
+  in
+  while !continue do
+    if d.tolerant && not d.synced then (
+      try step ()
+      with Protocol_error _ -> (
+        match String.index_from_opt data !pos '\n' with
+        | Some nl -> pos := nl + 1
+        | None ->
+            if total - !pos > max_noise then
+              raise (Protocol_error "no frame sync in leading noise");
+            continue := false))
+    else step ()
+  done;
+  if !pos > 0 then begin
+    Buffer.clear d.buf;
+    Buffer.add_substring d.buf data !pos (total - !pos)
+  end;
+  List.rev !out
+
+let feed d buf len =
+  Buffer.add_subbytes d.buf buf 0 len;
+  drain d
+
+let read fd d =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match d.ready with
+    | v :: rest ->
+        d.ready <- rest;
+        Some v
+    | [] -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> None
+        | n ->
+            d.ready <- feed d buf n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()

@@ -1,0 +1,47 @@
+(** Length-prefixed JSON frames — the wire format between the
+    {!Supervisor} and its worker processes.
+
+    A frame is an 8-digit lowercase-hex payload length, a newline, and
+    the payload: the {!Rdca_json.Jsonout} serialisation of one JSON
+    value.  The fixed-width header makes framing trivial to decode
+    incrementally and easy to eyeball in a pipe dump. *)
+
+exception Protocol_error of string
+(** Malformed header, oversized frame, or unparseable payload. *)
+
+val encode : Rdca_json.Jsonout.t -> string
+(** [encode v] is the complete frame for [v] (header + payload). *)
+
+val write : Unix.file_descr -> Rdca_json.Jsonout.t -> unit
+(** [write fd v] writes the whole frame, retrying short writes.
+    Raises [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone. *)
+
+(** {1 Incremental decoding}
+
+    The supervisor multiplexes many worker pipes with [select]; bytes
+    arrive in arbitrary pieces.  A [decoder] buffers them and yields
+    every complete frame. *)
+
+type decoder
+
+val decoder : ?tolerate_noise:bool -> unit -> decoder
+(** With [~tolerate_noise:true] the decoder resyncs past malformed
+    input at line boundaries until the first valid frame arrives, then
+    turns strict.  Worker binaries occasionally leak a start-up
+    diagnostic line onto stdout before {!Worker.serve} takes over the
+    descriptor; the supervisor reads with a tolerant decoder so such
+    noise doesn't kill the worker.  Unsyncable noise (no newline)
+    beyond 64 KiB still raises.  Default [false]: any malformed byte
+    raises. *)
+
+val feed : decoder -> bytes -> int -> Rdca_json.Jsonout.t list
+(** [feed d buf len] appends [buf.(0..len-1)] and returns the decoded
+    values of every frame completed by those bytes, in order.
+    @raise Protocol_error on malformed input. *)
+
+val read : Unix.file_descr -> decoder -> Rdca_json.Jsonout.t option
+(** [read fd d] blocks until at least one complete frame is available
+    (or end of file — [None]) and returns the first one; further
+    already-buffered frames are returned by subsequent calls without
+    touching [fd].  The worker side's read loop.
+    @raise Protocol_error on malformed input. *)

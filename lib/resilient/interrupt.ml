@@ -1,0 +1,34 @@
+let hooks : (int * (unit -> unit)) list ref = ref []
+let next_id = ref 0
+let installed = ref false
+let hit = ref false
+
+let run_hooks () =
+  hit := true;
+  List.iter (fun (_, f) -> try f () with _ -> ()) !hooks
+
+let handler _signum =
+  run_hooks ();
+  exit 130
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    List.iter
+      (fun s ->
+        try Sys.set_signal s (Sys.Signal_handle handler)
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ]
+  end
+
+let on_interrupt hook =
+  incr next_id;
+  let id = !next_id in
+  hooks := (id, hook) :: !hooks;
+  fun () -> hooks := List.filter (fun (i, _) -> i <> id) !hooks
+
+let triggered () = !hit
+
+let simulate () =
+  run_hooks ();
+  hit := false

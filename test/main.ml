@@ -1,3 +1,15 @@
+(* Hidden worker mode: the resilient suite Exec-spawns this very
+   binary as its worker processes (see Test_resilient.exec_spawn), so
+   process-mode supervision is exercised even when Unix.fork is
+   unavailable (OCaml 5 forbids it once any domain has been spawned). *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--resilient-worker" then begin
+    Parallel.Pool.set_default_jobs 1;
+    Resilient.Worker.serve ~handler:Test_resilient.worker_handler
+      ~input:Unix.stdin ~output:Unix.stdout ();
+    exit 0
+  end
+
 let () =
   Alcotest.run "rdca"
     [
@@ -25,4 +37,5 @@ let () =
       Test_flow.suite;
       Test_io.suite;
       Test_check.suite;
+      Test_resilient.suite;
     ]
