@@ -17,7 +17,7 @@
      dune exec bench/main.exe -- --workers 2   # worker processes (sweep-distrib)
      dune exec bench/main.exe -- --json out.json
    Sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal
-   check-ex1010 sweep-distrib micro
+   check-ex1010 sweep-distrib backends micro
 
    The sweep-distrib section (run when requested by name or when
    --workers > 0) re-evaluates a small sweep through the supervised
@@ -672,6 +672,125 @@ let run_sweep_distrib ~full:_ () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Cross-backend agreement: on the small suite benchmarks the
+   symbolic (BDD) backend must reproduce the exhaustive engines
+   bit-identically and the sampled backend's Wilson intervals must
+   bracket the exact values; beyond the dense ceiling (generated
+   cube-level specs) the symbolic and sampled backends check each
+   other.  Any disagreement feeds the harness mismatch list, so the
+   cross-backend contract gates the exit code like the
+   kernel-vs-scalar one. *)
+
+let run_backends ~full () =
+  let module A = Reliability.Analysis in
+  let params = { A.default_params with A.samples = 20_000; seed = 2011 } in
+  let inside v x = A.value_lo v <= x && x <= A.value_hi v in
+  let bounds_triple b = A.[ value_est b.base; value_est b.min_dc; value_est b.max_dc ] in
+  let small = [ "bench"; "fout"; "p3" ] in
+  let small_rows =
+    List.map
+      (fun name ->
+        let t = A.of_spec (Synthetic.Suite.load_by_name name) in
+        let be = A.mean_bounds ~backend:A.Exhaustive t in
+        let bb = A.mean_bounds ~backend:A.Bdd_exact t in
+        let ident =
+          List.for_all2 Float.equal (bounds_triple be) (bounds_triple bb)
+        in
+        if not ident then
+          mismatches := ("backends [" ^ name ^ " bdd/exhaustive]") :: !mismatches;
+        let bs = A.mean_bounds ~params ~backend:A.Sampled t in
+        let ci_ok =
+          List.for_all2 inside
+            A.[ bs.base; bs.min_dc; bs.max_dc ]
+            (bounds_triple be)
+        in
+        if not ci_ok then
+          mismatches := ("backends [" ^ name ^ " sampled-ci]") :: !mismatches;
+        (name, be, bs, ident, ci_ok))
+      small
+  in
+  let wide_nis = if full then [ 24; 28; 32 ] else [ 24; 28 ] in
+  let wide_rows =
+    List.map
+      (fun ni ->
+        let rng = Random.State.make [| 2011; ni |] in
+        let sets =
+          Synthetic.Synth_gen.random_cover_sets ~rng ~ni ~no:2 ~on_cubes:6
+            ~dc_cubes:4 ~lit_prob:0.35
+        in
+        let t = A.of_cover_sets ~ni sets in
+        let bb = A.mean_bounds ~backend:A.Bdd_exact t in
+        let bs = A.mean_bounds ~params ~backend:A.Sampled t in
+        let ci_ok =
+          List.for_all2 inside
+            A.[ bs.base; bs.min_dc; bs.max_dc ]
+            (bounds_triple bb)
+        in
+        if not ci_ok then
+          mismatches :=
+            (Printf.sprintf "backends [n=%d sampled-ci]" ni) :: !mismatches;
+        (ni, bb, bs, ci_ok))
+      wide_nis
+  in
+  {
+    tables =
+      [
+        {
+          title = "backends: exhaustive vs BDD-exact vs sampled (suite)";
+          header =
+            [ "name"; "base"; "min"; "max"; "bdd==exh"; "CI(sample) ∋ exact" ];
+          rows =
+            List.map
+              (fun (name, be, _, ident, ci_ok) ->
+                [
+                  name;
+                  T.f3 (A.value_est be.A.base);
+                  T.f3 (A.value_est (A.min_rate be));
+                  T.f3 (A.value_est (A.max_rate be));
+                  (if ident then "yes" else "NO");
+                  (if ci_ok then "yes" else "NO");
+                ])
+              small_rows;
+        };
+        {
+          title = "backends: BDD-exact vs sampled beyond the dense ceiling";
+          header = [ "n"; "base(bdd)"; "max(bdd)"; "base(sample)"; "CI ∋ bdd" ];
+          rows =
+            List.map
+              (fun (ni, bb, bs, ci_ok) ->
+                [
+                  string_of_int ni;
+                  T.f3 (A.value_est bb.A.base);
+                  T.f3 (A.value_est (A.max_rate bb));
+                  T.f3 (A.value_est bs.A.base);
+                  (if ci_ok then "yes" else "NO");
+                ])
+              wide_rows;
+        };
+      ];
+    scalars =
+      List.map
+        (fun (name, be, _, ident, ci_ok) ->
+          [
+            (name ^ "_base", A.value_est be.A.base);
+            (name ^ "_bdd_identical", if ident then 1.0 else 0.0);
+            (name ^ "_sampled_ci_ok", if ci_ok then 1.0 else 0.0);
+          ])
+        small_rows
+      |> List.concat
+      |> fun l ->
+      l
+      @ (List.map
+           (fun (ni, bb, _, ci_ok) ->
+             [
+               (Printf.sprintf "wide%d_base" ni, A.value_est bb.A.base);
+               (Printf.sprintf "wide%d_ci_ok" ni, if ci_ok then 1.0 else 0.0);
+             ])
+           wide_rows
+        |> List.concat)
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Driver: run each requested section three times — scalar engine at
    one job, kernel engine at one job, and (when --jobs > 1) kernel at
    N jobs — check all runs produce identical results, and record the
@@ -696,6 +815,7 @@ let sections =
     { sec_name = "nodal"; dual = true; build = run_nodal };
     { sec_name = "check-ex1010"; dual = true; build = run_check_ex1010 };
     { sec_name = "sweep-distrib"; dual = false; build = run_sweep_distrib };
+    { sec_name = "backends"; dual = true; build = run_backends };
     { sec_name = "micro"; dual = false; build = run_micro };
   ]
 

@@ -62,31 +62,124 @@ let emit_spec out spec =
   | None -> print_string (Pla.to_string spec)
   | Some path -> Pla.write_file path spec
 
+let emit_text out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+
 (* ------------------------------------------------------------------ *)
+(* Backend-dispatched reliability analysis: stats and estimate take
+   the full engine/sampling argument set; the synthesis-based commands
+   take the engine alone (their --seed belongs to the campaign). *)
+
+module Analysis = Reliability.Analysis
+
+let analysis_backend_arg =
+  let doc =
+    "Error-rate analysis engine: $(b,auto) picks from the input count, \
+     $(b,exhaustive) enumerates the dense table, $(b,bdd) is exact via \
+     symbolic satcounts (no 2^n enumeration), $(b,sample) is seeded \
+     Monte-Carlo with Wilson confidence intervals."
+  in
+  Arg.(
+    value
+    & opt (enum
+             [ ("auto", Analysis.Auto); ("exhaustive", Analysis.Exhaustive);
+               ("bdd", Analysis.Bdd_exact); ("sample", Analysis.Sampled) ])
+        Analysis.Auto
+    & info [ "analysis" ] ~docv:"ENGINE" ~doc)
+
+let analysis_args =
+  let samples =
+    let doc = "Monte-Carlo draws per analysed output (sample engine)." in
+    Arg.(
+      value
+      & opt int Analysis.default_params.Analysis.samples
+      & info [ "samples" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Sampling seed (sample engine)." in
+    Arg.(
+      value
+      & opt int Analysis.default_params.Analysis.seed
+      & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let confidence =
+    let doc = "Wilson interval confidence (sample engine)." in
+    Arg.(
+      value
+      & opt float Analysis.default_params.Analysis.confidence
+      & info [ "confidence" ] ~docv:"C" ~doc)
+  in
+  let combine backend samples seed confidence =
+    ( backend,
+      { Analysis.default_params with Analysis.samples; seed; confidence } )
+  in
+  Term.(const combine $ analysis_backend_arg $ samples $ seed $ confidence)
+
+let analysis_arg_error params =
+  if params.Analysis.samples <= 0 then Some "--samples must be positive"
+  else if not (params.Analysis.confidence > 0.0 && params.Analysis.confidence < 1.0)
+  then Some "--confidence must be strictly between 0 and 1"
+  else None
+
+(* Resolve SPEC into an analysis problem (dense when it fits, cube-level
+   up to 61 inputs otherwise) and run [f]. *)
+let with_problem input f =
+  match Flow.load_problem input with
+  | Ok t -> f t
+  | Error e ->
+      Fmt.epr "rdca: %s@." (Flow.error_to_string e);
+      1
 
 let stats_cmd =
-  let run input jobs =
+  let run input (backend, params) jobs =
     with_jobs_opt jobs @@ fun () ->
-    with_spec input @@ fun spec ->
-    let module B = Reliability.Borders in
-    let module ER = Reliability.Error_rate in
-    Fmt.pr "inputs:   %d@." (Pla.Spec.ni spec);
-    Fmt.pr "outputs:  %d@." (Pla.Spec.no spec);
-    Fmt.pr "%%DC:      %.1f@." (100.0 *. Pla.Spec.dc_fraction spec);
-    Fmt.pr "E[C^f]:   %.3f@." (B.mean_expected_complexity_factor spec);
-    Fmt.pr "C^f:      %.3f@." (B.mean_complexity_factor spec);
-    let b = ER.mean_bounds spec in
-    Fmt.pr "error-rate bounds: base=%.4f  min=%.4f  max=%.4f@." b.ER.base
-      (ER.min_rate b) (ER.max_rate b);
-    for o = 0 to Pla.Spec.no spec - 1 do
-      let f1, f0, fdc = Pla.Spec.signal_probs spec ~o in
-      Fmt.pr "  y%d: f1=%.3f f0=%.3f fdc=%.3f C^f=%.3f@." o f1 f0 fdc
-        (B.complexity_factor spec ~o)
-    done;
-    0
+    match analysis_arg_error params with
+    | Some msg ->
+        Fmt.epr "rdca: %s@." msg;
+        1
+    | None ->
+        with_problem input @@ fun t ->
+        let module A = Analysis in
+        let resolved = A.resolve ~params t backend in
+        Fmt.pr "inputs:   %d@." (A.ni t);
+        Fmt.pr "outputs:  %d@." (A.no t);
+        Fmt.pr "analysis: %s%s@."
+          (A.backend_name resolved)
+          (if backend = A.Auto then " (auto)" else "");
+        let no = A.no t in
+        let fdc_sum = ref 0.0 and ecf_sum = ref 0.0 and cf_sum = ref 0.0 in
+        let rows =
+          List.init no (fun o ->
+              let f1, f0, fdc = A.signal_probs ~params ~backend t ~o in
+              let cf = A.complexity_factor ~params ~backend t ~o in
+              let e1 = A.value_est f1
+              and e0 = A.value_est f0
+              and edc = A.value_est fdc in
+              fdc_sum := !fdc_sum +. edc;
+              ecf_sum := !ecf_sum +. (e1 *. e1) +. (e0 *. e0) +. (edc *. edc);
+              cf_sum := !cf_sum +. A.value_est cf;
+              (o, e1, e0, edc, A.value_est cf))
+        in
+        Fmt.pr "%%DC:      %.1f@." (100.0 *. !fdc_sum /. float_of_int no);
+        Fmt.pr "E[C^f]:   %.3f@." (!ecf_sum /. float_of_int no);
+        Fmt.pr "C^f:      %.3f@." (!cf_sum /. float_of_int no);
+        let b = A.mean_bounds ~params ~backend t in
+        Fmt.pr "error-rate bounds: base=%a  min=%a  max=%a@." A.pp_value
+          b.A.base A.pp_value (A.min_rate b) A.pp_value (A.max_rate b);
+        List.iter
+          (fun (o, f1, f0, fdc, cf) ->
+            Fmt.pr "  y%d: f1=%.3f f0=%.3f fdc=%.3f C^f=%.3f@." o f1 f0 fdc cf)
+          rows;
+        0
   in
-  let doc = "Print function statistics and exact reliability bounds" in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ input_arg $ jobs_arg)
+  let doc = "Print function statistics and reliability bounds" in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ input_arg $ analysis_args $ jobs_arg)
 
 let strategy_args =
   let method_ =
@@ -170,7 +263,7 @@ let report_degradations r =
 
 let synth_cmd =
   let run input strategy mode verify factored shared blif_out verilog_out
-      max_cubes max_seconds jobs =
+      max_cubes max_seconds analysis jobs =
     with_jobs_opt jobs @@ fun () ->
     with_spec input @@ fun spec ->
     let budget = { Flow.max_cubes; max_seconds } in
@@ -179,8 +272,9 @@ let synth_cmd =
         Ok
           (if shared then Flow.synthesize_shared ~mode ~strategy spec
            else if verify then
-             Flow.verified_synthesize ~factored ~budget ~mode ~strategy spec
-           else Flow.synthesize ~factored ~budget ~mode ~strategy spec)
+             Flow.verified_synthesize ~analysis ~factored ~budget ~mode
+               ~strategy spec
+           else Flow.synthesize ~analysis ~factored ~budget ~mode ~strategy spec)
       with
       | Invalid_argument msg | Failure msg ->
           Error (Flow.Synthesis_failure msg)
@@ -235,7 +329,7 @@ let synth_cmd =
     Term.(
       const run $ input_arg $ strategy_args $ mode_arg $ verify $ factored
       $ shared $ blif_out $ verilog_out $ cube_budget_arg
-      $ espresso_seconds_arg $ jobs_arg)
+      $ espresso_seconds_arg $ analysis_backend_arg $ jobs_arg)
 
 (* Shared by faultsim and campaign: positive/float flag validation and
    supervised-campaign argument bundles. *)
@@ -303,7 +397,7 @@ let faultsim_cmd =
   let module J = Rdca_json.Jsonout in
   let run input strategy mode seed trials max_sites time_budget confidence
       max_cubes max_seconds no_baseline workers checkpoint resume json_out
-      jobs =
+      analysis jobs =
     with_jobs_opt jobs @@ fun () ->
     with_spec input @@ fun spec ->
     let bad_arg =
@@ -365,7 +459,7 @@ let faultsim_cmd =
     List.iter
       (fun strategy ->
         Fmt.pr "@.=== strategy: %s ===@." (Flow.strategy_name strategy);
-        match Flow.synthesize_result ~budget ~mode ~strategy spec with
+        match Flow.synthesize_result ~analysis ~budget ~mode ~strategy spec with
         | Error e ->
             failed := true;
             Fmt.epr "rdca: %s@." (Flow.error_to_string e)
@@ -484,7 +578,7 @@ let faultsim_cmd =
       const run $ input_arg $ strategy_args $ mode_arg $ seed_arg $ trials_arg
       $ max_sites_arg $ time_budget $ confidence_arg $ cube_budget_arg
       $ espresso_seconds_arg $ no_baseline $ workers $ checkpoint_arg
-      $ resume_arg $ json_out $ jobs_arg)
+      $ resume_arg $ json_out $ analysis_backend_arg $ jobs_arg)
 
 (* The supervised campaign subcommand: one strategy, full control over
    the supervisor (workers, deadlines, retries, chaos), shard
@@ -495,7 +589,7 @@ let campaign_cmd =
   let module J = Rdca_json.Jsonout in
   let run input strategy mode seed trials max_sites confidence workers
       shard_size deadline retries backoff spawn_fork checkpoint resume
-      stop_after chaos chaos_seed json_out jobs =
+      stop_after chaos chaos_seed json_out analysis jobs =
     with_jobs_opt jobs @@ fun () ->
     with_spec input @@ fun spec ->
     let bad_arg =
@@ -519,7 +613,7 @@ let campaign_cmd =
         1
     | None -> (
         Interrupt.install ();
-        match Flow.synthesize_result ~mode ~strategy spec with
+        match Flow.synthesize_result ~analysis ~mode ~strategy spec with
         | Error e ->
             Fmt.epr "rdca: %s@." (Flow.error_to_string e);
             1
@@ -662,7 +756,8 @@ let campaign_cmd =
       const run $ input_arg $ strategy_args $ mode_arg $ seed_arg $ trials_arg
       $ max_sites_arg $ confidence_arg $ workers $ shard_size $ deadline
       $ retries $ backoff $ spawn_fork $ checkpoint_arg $ resume_arg
-      $ stop_after $ chaos $ chaos_seed $ json_out $ jobs_arg)
+      $ stop_after $ chaos $ chaos_seed $ json_out $ analysis_backend_arg
+      $ jobs_arg)
 
 (* Worker side of the supervision protocol: a frame loop on
    stdin/stdout executing Distrib.dispatch.  Spawned by the campaign
@@ -680,49 +775,112 @@ let worker_cmd =
   Cmd.v (Cmd.info "worker" ~doc) Term.(const run $ const ())
 
 let gen_cmd =
-  let run ni no dc cf seed out =
+  let run ni no dc cf seed on_cubes dc_cubes lit_prob out =
     let rng = Random.State.make [| seed |] in
-    let params =
-      Synthetic.Synth_gen.default_params ~ni ~dc_frac:dc ~target_cf:cf
-    in
-    let spec = Synthetic.Synth_gen.spec ~rng ~no params in
-    emit_spec out spec;
-    0
+    if ni > 20 then
+      (* Beyond the dense table: generate at the cube level, the input
+         format of the symbolic and sampled analysis backends. *)
+      if ni > 61 then begin
+        Fmt.epr "rdca: --ni must be at most 61@.";
+        1
+      end
+      else begin
+        let sets =
+          Synthetic.Synth_gen.random_cover_sets ~rng ~ni ~no ~on_cubes
+            ~dc_cubes ~lit_prob
+        in
+        let pairs =
+          List.map
+            (function
+              | Pla.Fd_sets { on; dc } -> (on, dc)
+              | Pla.Fr_sets _ -> assert false)
+            sets
+        in
+        emit_text out (Pla.to_string_covers ~ni pairs);
+        0
+      end
+    else begin
+      let params =
+        Synthetic.Synth_gen.default_params ~ni ~dc_frac:dc ~target_cf:cf
+      in
+      let spec = Synthetic.Synth_gen.spec ~rng ~no params in
+      emit_spec out spec;
+      0
+    end
   in
   let ni = Arg.(value & opt int 8 & info [ "ni" ] ~docv:"N" ~doc:"Inputs.") in
   let no = Arg.(value & opt int 4 & info [ "no" ] ~docv:"N" ~doc:"Outputs.") in
   let dc =
-    Arg.(value & opt float 0.6 & info [ "dc" ] ~docv:"F" ~doc:"DC fraction.")
+    Arg.(
+      value
+      & opt float 0.6
+      & info [ "dc" ] ~docv:"F" ~doc:"DC fraction (dense mode, ni <= 20).")
   in
   let cf =
     Arg.(
       value
       & opt (some float) None
-      & info [ "cf" ] ~docv:"C" ~doc:"Target complexity factor (optional).")
+      & info [ "cf" ] ~docv:"C"
+          ~doc:"Target complexity factor (dense mode, optional).")
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
   in
-  let doc = "Generate a synthetic benchmark (.pla)" in
+  let on_cubes =
+    Arg.(
+      value
+      & opt int 6
+      & info [ "on-cubes" ] ~docv:"N"
+          ~doc:"On-set cubes per output (cube mode, ni > 20).")
+  in
+  let dc_cubes =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "dc-cubes" ] ~docv:"N"
+          ~doc:"DC-set cubes per output (cube mode, ni > 20).")
+  in
+  let lit_prob =
+    Arg.(
+      value
+      & opt float 0.55
+      & info [ "lit-prob" ] ~docv:"P"
+          ~doc:"Probability a cube fixes each variable (cube mode).")
+  in
+  let doc =
+    "Generate a synthetic benchmark (.pla; cube-level beyond 20 inputs)"
+  in
   Cmd.v (Cmd.info "gen" ~doc)
-    Term.(const run $ ni $ no $ dc $ cf $ seed $ output_arg)
+    Term.(
+      const run $ ni $ no $ dc $ cf $ seed $ on_cubes $ dc_cubes $ lit_prob
+      $ output_arg)
 
 let estimate_cmd =
-  let run input jobs =
+  let run input (backend, params) jobs =
     with_jobs_opt jobs @@ fun () ->
-    with_spec input @@ fun spec ->
-    let module ER = Reliability.Error_rate in
-    let module Est = Reliability.Estimate in
-    let b = ER.mean_bounds spec in
-    let s = Est.mean_signal_based spec in
-    let bo = Est.mean_border_based spec in
-    Fmt.pr "exact bounds:   [%.4f, %.4f]@." (ER.min_rate b) (ER.max_rate b);
-    Fmt.pr "signal-based:   [%.4f, %.4f]@." s.Est.lo s.Est.hi;
-    Fmt.pr "border-based:   [%.4f, %.4f]@." bo.Est.lo bo.Est.hi;
-    0
+    match analysis_arg_error params with
+    | Some msg ->
+        Fmt.epr "rdca: %s@." msg;
+        1
+    | None ->
+        with_problem input @@ fun t ->
+        let module A = Analysis in
+        let module Est = Reliability.Estimate in
+        let resolved = A.resolve ~params t backend in
+        Fmt.pr "analysis:       %s@." (A.backend_name resolved);
+        let b = A.mean_bounds ~params ~backend t in
+        Fmt.pr "%s bounds:   [%a, %a]@."
+          (match resolved with A.Sampled -> "sampled" | _ -> "exact  ")
+          A.pp_value (A.min_rate b) A.pp_value (A.max_rate b);
+        let s = A.mean_signal_interval ~params ~backend t in
+        let bo = A.mean_border_interval ~params ~backend t in
+        Fmt.pr "signal-based:   [%.4f, %.4f]@." s.Est.lo s.Est.hi;
+        Fmt.pr "border-based:   [%.4f, %.4f]@." bo.Est.lo bo.Est.hi;
+        0
   in
   let doc = "Analytical min-max reliability estimates vs exact bounds" in
-  Cmd.v (Cmd.info "estimate" ~doc) Term.(const run $ input_arg $ jobs_arg)
+  Cmd.v (Cmd.info "estimate" ~doc)
+    Term.(const run $ input_arg $ analysis_args $ jobs_arg)
 
 (* Static checking: spec lints, then (unless --lint-only) a synthesis
    run whose covers and netlist are audited against the *original*

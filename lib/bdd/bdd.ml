@@ -169,7 +169,17 @@ let satcount_float m f =
   let v = m.var_of.(f) in
   (2.0 ** float_of_int v) *. go f
 
-let satcount m f = int_of_float (satcount_float m f +. 0.5)
+(* 2^62 is the first count [int] cannot hold (max_int = 2^62 - 1);
+   the float comparison is conservative at the boundary because
+   2^62 - 1 rounds up to 2^62 in double precision. *)
+let max_exact_int_count = 4611686018427387904.0 (* 2^62 *)
+
+let satcount m f =
+  let c = satcount_float m f +. 0.5 in
+  if c >= max_exact_int_count then
+    invalid_arg
+      "Bdd.satcount: count exceeds the integer range; use satcount_float"
+  else int_of_float c
 
 let iter_minterms m f g =
   if m.nvars > 24 then invalid_arg "Bdd.iter_minterms: nvars too large";

@@ -73,7 +73,10 @@ val eval : man -> t -> (int -> bool) -> bool
 val eval_minterm : man -> t -> int -> bool
 
 (** [satcount man f] is the number of satisfying assignments over all
-    [nvars] variables. *)
+    [nvars] variables.
+    @raise Invalid_argument when the count reaches [2^62] and can no
+    longer be represented as an [int] — wide supports should use
+    {!satcount_float} instead. *)
 val satcount : man -> t -> int
 
 (** [iter_minterms man f g] applies [g] to every satisfying minterm

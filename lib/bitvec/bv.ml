@@ -165,7 +165,14 @@ let pp ppf t =
 (* ------------------------------------------------------------------ *)
 
 module Kernel = struct
-  let enabled = ref true
+  (* The word-parallel engine is on unless RDCA_KERNEL=off|0|false asks
+     for the scalar oracle — the hook CI's engine matrix flips. *)
+  let enabled =
+    ref
+      (match Sys.getenv_opt "RDCA_KERNEL" with
+      | Some ("off" | "0" | "false" | "scalar") -> false
+      | _ -> true)
+
   let use () = !enabled
 
   let with_mode mode f =

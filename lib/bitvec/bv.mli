@@ -106,9 +106,10 @@ val pp : Format.formatter -> t -> unit
     a reference oracle; {!enabled} switches between the two engines and
     the differential tests assert bit-identical results. *)
 module Kernel : sig
-  (** Engine toggle, [true] by default.  Flip only around sequential
-      sections (the bench harness' scalar runs); readers do not
-      synchronise. *)
+  (** Engine toggle, [true] by default; starting value honours the
+      [RDCA_KERNEL] environment variable ([off]/[0]/[false]/[scalar]
+      select the scalar oracle).  Flip only around sequential sections
+      (the bench harness' scalar runs); readers do not synchronise. *)
   val enabled : bool ref
 
   (** [use ()] is [!enabled]. *)

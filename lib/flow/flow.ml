@@ -92,6 +92,23 @@ let load_source name =
 
 let load_spec name = Stdlib.Result.map (fun s -> s.spec) (load_source name)
 
+(* The scalable loader: dense while the table fits (ni <= 20), so the
+   full backend matrix stays available, cover-level beyond — then the
+   symbolic and sampled engines are the only options and the dense
+   lints do not apply. *)
+let load_problem name =
+  let dense () = Stdlib.Result.map Reliability.Analysis.of_spec (load_spec name) in
+  if Sys.file_exists name && not (Sys.is_directory name) then
+    match Pla.parse_file_covers_res name with
+    | Error message -> Error (Parse_error { path = name; message })
+    | Ok cf ->
+        if cf.Pla.cf_ni <= 20 then dense ()
+        else
+          Ok
+            (Reliability.Analysis.of_cover_sets ~ni:cf.Pla.cf_ni
+               cf.Pla.cf_outputs)
+  else dense ()
+
 let lint_source src =
   match src.pla with
   | Some pla -> Check.Spec_lint.lint_pla pla
@@ -174,14 +191,27 @@ let implement_budgeted ~budget spec =
   in
   (out, covers, List.rev !degradations)
 
-let measured_error ~original assigned =
+let measured_error ?(analysis = Reliability.Analysis.Exhaustive)
+    ?analysis_params ~original assigned =
   let no = Spec.no original in
-  let rates =
-    Parallel.Pool.init no (fun o ->
-        let impl = ER.impl_table assigned ~o in
-        ER.of_table original ~o ~impl)
+  let exhaustive () =
+    let rates =
+      Parallel.Pool.init no (fun o ->
+          let impl = ER.impl_table assigned ~o in
+          ER.of_table original ~o ~impl)
+    in
+    Array.fold_left ( +. ) 0.0 rates /. float_of_int no
   in
-  Array.fold_left ( +. ) 0.0 rates /. float_of_int no
+  let problem = Reliability.Analysis.of_spec original in
+  match Reliability.Analysis.resolve ?params:analysis_params problem analysis with
+  | Reliability.Analysis.Exhaustive | Reliability.Analysis.Auto ->
+      (* The historical dense path, kept verbatim (and bit-identical). *)
+      exhaustive ()
+  | backend ->
+      let impl = Parallel.Pool.init no (fun o -> ER.impl_table assigned ~o) in
+      Reliability.Analysis.value_est
+        (Reliability.Analysis.rate_of_tables ?params:analysis_params ~backend
+           problem ~impl)
 
 let build ?lib ?(factored = false) ~mode spec_assigned covers =
   let lib =
@@ -196,14 +226,16 @@ let build ?lib ?(factored = false) ~mode spec_assigned covers =
   let aig = Aig.Opt.balance aig in
   Techmap.Mapper.map ~mode ~lib aig
 
-let synthesize_common ?lib ?factored ?(budget = no_budget) ~mode ~strategy
-    ~verify spec =
+let synthesize_common ?lib ?factored ?(budget = no_budget) ?analysis
+    ?analysis_params ~mode ~strategy ~verify spec =
   let partial = apply_strategy strategy spec in
   let assigned_fraction =
     Assign.assigned_dc_fraction ~before:spec ~after:partial
   in
   let full, covers, degradations = implement_budgeted ~budget partial in
-  let error_rate = measured_error ~original:spec full in
+  let error_rate =
+    measured_error ?analysis ?analysis_params ~original:spec full
+  in
   let nl = build ?lib ?factored ~mode full covers in
   if verify then begin
     let tables = Netlist.output_tables nl in
@@ -232,20 +264,32 @@ let synthesize_common ?lib ?factored ?(budget = no_budget) ~mode ~strategy
     degradations;
   }
 
-let synthesize ?lib ?factored ?budget ~mode ~strategy spec =
-  synthesize_common ?lib ?factored ?budget ~mode ~strategy ~verify:false spec
+let synthesize ?lib ?factored ?budget ?analysis ?analysis_params ~mode
+    ~strategy spec =
+  synthesize_common ?lib ?factored ?budget ?analysis ?analysis_params ~mode
+    ~strategy ~verify:false spec
 
-let verified_synthesize ?lib ?factored ?budget ~mode ~strategy spec =
-  synthesize_common ?lib ?factored ?budget ~mode ~strategy ~verify:true spec
+let verified_synthesize ?lib ?factored ?budget ?analysis ?analysis_params ~mode
+    ~strategy spec =
+  synthesize_common ?lib ?factored ?budget ?analysis ?analysis_params ~mode
+    ~strategy ~verify:true spec
 
-let synthesize_result ?lib ?factored ?budget ~mode ~strategy spec =
-  match synthesize ?lib ?factored ?budget ~mode ~strategy spec with
+let synthesize_result ?lib ?factored ?budget ?analysis ?analysis_params ~mode
+    ~strategy spec =
+  match
+    synthesize ?lib ?factored ?budget ?analysis ?analysis_params ~mode
+      ~strategy spec
+  with
   | r -> Ok r
   | exception Invalid_argument msg -> Error (Synthesis_failure msg)
   | exception Failure msg -> Error (Synthesis_failure msg)
 
-let synthesize_checked ?lib ?factored ?budget ?equiv ~mode ~strategy spec =
-  match synthesize_result ?lib ?factored ?budget ~mode ~strategy spec with
+let synthesize_checked ?lib ?factored ?budget ?analysis ?analysis_params ?equiv
+    ~mode ~strategy spec =
+  match
+    synthesize_result ?lib ?factored ?budget ?analysis ?analysis_params ~mode
+      ~strategy spec
+  with
   | Error e -> Error e
   | Ok r ->
       (* Check against the original spec: DC assignment may move DC

@@ -101,6 +101,14 @@ type source = { spec : Pla.Spec.t; pla : Pla.t option; origin : string }
 (** [load_source name] is {!load_spec} keeping the provenance. *)
 val load_source : string -> (source, error) Stdlib.result
 
+(** [load_problem name] resolves [name] into an analysis problem for
+    the backend-dispatched reliability engines: files with [.i <= 20]
+    (and suite benchmarks) load densely, so every backend including
+    [Exhaustive] is available; wider files (up to the cube limit of
+    61 inputs) load at the cover level for the symbolic and sampled
+    backends.  Failures are structured like {!load_spec}. *)
+val load_problem : string -> (Reliability.Analysis.t, error) Stdlib.result
+
 (** [lint_source src] is the spec linter appropriate to the source:
     term-level when the raw .pla is available, dense otherwise. *)
 val lint_source : source -> Check.Diag.t list
@@ -123,20 +131,33 @@ val implement_checked :
   Pla.Spec.t ->
   (Pla.Spec.t * Twolevel.Cover.t list, error) Stdlib.result
 
-(** [measured_error ~original assigned] is the mean implementation
-    error rate of a fully specified [assigned] against [original]. *)
-val measured_error : original:Pla.Spec.t -> Pla.Spec.t -> float
+(** [measured_error ?analysis ?analysis_params ~original assigned] is
+    the mean implementation error rate of a fully specified [assigned]
+    against [original].  [analysis] (default [Exhaustive], which this
+    flow always can use since it holds a dense spec) selects the
+    {!Reliability.Analysis} backend; sampled backends report the point
+    estimate of their confidence interval. *)
+val measured_error :
+  ?analysis:Reliability.Analysis.backend ->
+  ?analysis_params:Reliability.Analysis.params ->
+  original:Pla.Spec.t ->
+  Pla.Spec.t ->
+  float
 
 (** [synthesize ?lib ?factored ?budget ~mode ~strategy spec] runs the
     full pipeline.  [lib] defaults to
     {!Techmap.Stdcell.default_library}; [factored] (default false)
     algebraically factors each minimised cover ({!Twolevel.Factor})
     before AIG construction; [budget] (default {!no_budget}) caps
-    espresso with unminimized-cover fallback. *)
+    espresso with unminimized-cover fallback; [analysis] and
+    [analysis_params] select the error-rate backend as in
+    {!measured_error}. *)
 val synthesize :
   ?lib:Techmap.Stdcell.t list ->
   ?factored:bool ->
   ?budget:budget ->
+  ?analysis:Reliability.Analysis.backend ->
+  ?analysis_params:Reliability.Analysis.params ->
   mode:Techmap.Mapper.mode ->
   strategy:strategy ->
   Pla.Spec.t ->
@@ -149,6 +170,8 @@ val verified_synthesize :
   ?lib:Techmap.Stdcell.t list ->
   ?factored:bool ->
   ?budget:budget ->
+  ?analysis:Reliability.Analysis.backend ->
+  ?analysis_params:Reliability.Analysis.params ->
   mode:Techmap.Mapper.mode ->
   strategy:strategy ->
   Pla.Spec.t ->
@@ -161,6 +184,8 @@ val synthesize_result :
   ?lib:Techmap.Stdcell.t list ->
   ?factored:bool ->
   ?budget:budget ->
+  ?analysis:Reliability.Analysis.backend ->
+  ?analysis_params:Reliability.Analysis.params ->
   mode:Techmap.Mapper.mode ->
   strategy:strategy ->
   Pla.Spec.t ->
@@ -177,6 +202,8 @@ val synthesize_checked :
   ?lib:Techmap.Stdcell.t list ->
   ?factored:bool ->
   ?budget:budget ->
+  ?analysis:Reliability.Analysis.backend ->
+  ?analysis_params:Reliability.Analysis.params ->
   ?equiv:Check.Netlist_check.equiv_engine ->
   mode:Techmap.Mapper.mode ->
   strategy:strategy ->

@@ -183,6 +183,122 @@ let parse_file path =
   close_in ic;
   parse_string text
 
+(* ------------------------------------------------------------------ *)
+(* Cover-level parsing: the scalable loader.  Product terms are kept
+   as cubes instead of being expanded into a dense table, so the only
+   arity limit is the cube representation's n <= 61.  Phase precedence
+   on overlapping cubes is espresso's set view (on wins over dc, off
+   is the complement) rather than the dense parser's textual
+   last-write-wins — callers needing exact line-order resolution stay
+   on [parse_string]. *)
+
+type cover_sets =
+  | Fd_sets of { on : Twolevel.Cover.t; dc : Twolevel.Cover.t }
+  | Fr_sets of { on : Twolevel.Cover.t; off : Twolevel.Cover.t }
+
+type cover_file = {
+  cf_ni : int;
+  cf_outputs : cover_sets list;
+  cf_input_names : string array;
+  cf_output_names : string array;
+  cf_ty : pla_type;
+}
+
+let cover_max_inputs = 61 (* Twolevel.Cube's mask width *)
+
+let parse_string_covers text =
+  let lines = String.split_on_char '\n' text in
+  let ni = ref (-1) and no = ref (-1) in
+  let ilb = ref None and ob = ref None in
+  let ty = ref Fd in
+  let terms = ref [] in
+  let ended = ref false in
+  List.iteri
+    (fun i raw ->
+      if not !ended then
+        match classify_line raw with
+        | Blank -> ()
+        | Directive (".i", args) -> ni := int_directive ".i" args
+        | Directive (".o", args) -> no := int_directive ".o" args
+        | Directive (".p", _) -> ()
+        | Directive (".ilb", names) -> ilb := Some (Array.of_list names)
+        | Directive (".ob", names) -> ob := Some (Array.of_list names)
+        | Directive (".type", [ v ]) -> ty := pla_type_of_string v
+        | Directive (".type", _) -> fail ".type: expected exactly one argument"
+        | Directive ((".e" | ".end"), _) -> ended := true
+        | Directive (d, _) -> fail "unsupported directive %S" d
+        | Term (ins, outs) -> terms := (i + 1, ins, outs) :: !terms)
+    lines;
+  if !ni < 0 then fail "missing or negative .i";
+  if !no < 0 then fail "missing or negative .o";
+  let ni = !ni and no = !no in
+  if no = 0 then fail ".o 0: at least one output required";
+  if ni > cover_max_inputs then
+    fail ".i %d exceeds cube representation limit (%d)" ni cover_max_inputs;
+  let ty = !ty in
+  (* Per output: cube lists for the phases the type makes explicit. *)
+  let on_cubes = Array.make no [] and aux_cubes = Array.make no [] in
+  let apply_term (line, ins, outs) =
+    ignore line;
+    if String.length ins <> ni then fail "term %S: expected %d inputs" ins ni;
+    if String.length outs <> no then
+      fail "term %S %S: expected %d outputs" ins outs no;
+    let cube =
+      try Twolevel.Cube.of_string ins
+      with Invalid_argument _ -> fail "term %S: bad input character" ins
+    in
+    String.iteri
+      (fun o c ->
+        match (c, ty) with
+        | '1', _ | '4', _ -> on_cubes.(o) <- cube :: on_cubes.(o)
+        | ('-' | '~' | '2'), (Fd | Fdr) -> aux_cubes.(o) <- cube :: aux_cubes.(o)
+        | ('-' | '~' | '2'), (F | Fr) -> ()
+        | '0', Fr -> aux_cubes.(o) <- cube :: aux_cubes.(o)
+        | '0', Fdr -> () (* off is the default phase anyway *)
+        | '0', (F | Fd) -> ()
+        | c, _ -> fail "bad output character %C" c)
+      outs
+  in
+  List.iter apply_term (List.rev !terms);
+  let cover cubes = Twolevel.Cover.make ~n:ni (List.rev cubes) in
+  let outputs =
+    List.init no (fun o ->
+        let on = cover on_cubes.(o) and aux = cover aux_cubes.(o) in
+        match ty with
+        | F | Fd | Fdr -> Fd_sets { on; dc = aux }
+        | Fr -> Fr_sets { on; off = aux })
+  in
+  let input_names, output_names =
+    let di, dd = default_names ~ni ~no in
+    ( (match !ilb with Some a when Array.length a = ni -> a | _ -> di),
+      match !ob with Some a when Array.length a = no -> a | _ -> dd )
+  in
+  {
+    cf_ni = ni;
+    cf_outputs = outputs;
+    cf_input_names = input_names;
+    cf_output_names = output_names;
+    cf_ty = ty;
+  }
+
+let parse_file_covers path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string_covers text
+
+let parse_string_covers_res text =
+  match parse_string_covers text with
+  | t -> Ok t
+  | exception Parse_error msg -> Error msg
+
+let parse_file_covers_res path =
+  match parse_file_covers path with
+  | t -> Ok t
+  | exception Parse_error msg -> Error msg
+  | exception Sys_error msg -> Error msg
+
 let parse_string_res text =
   match parse_string text with
   | t -> Ok t

@@ -62,6 +62,45 @@ val parse_string_res : string -> (t, string) result
 
 val parse_file_res : string -> (t, string) result
 
+(** {1 Cover-level parsing — the scalable loader}
+
+    Product terms kept as cubes, never expanded into a dense table, so
+    files up to the cube representation's [n <= 61] load in memory
+    proportional to their text.  Phase precedence on overlapping cubes
+    follows espresso's set view (the on-set wins overlaps, the type's
+    default phase is the complement) instead of the dense parser's
+    textual last-write-wins. *)
+
+(** One output's explicit phase covers; the third phase is the
+    complement of their union. *)
+type cover_sets =
+  | Fd_sets of { on : Twolevel.Cover.t; dc : Twolevel.Cover.t }
+      (** types [f]/[fd]/[fdr]: off is everything else ([f] has an
+          empty DC cover; [fdr]'s explicit off cubes are dropped as
+          restating the default) *)
+  | Fr_sets of { on : Twolevel.Cover.t; off : Twolevel.Cover.t }
+      (** type [fr]: DC is everything else *)
+
+type cover_file = {
+  cf_ni : int;
+  cf_outputs : cover_sets list;
+  cf_input_names : string array;
+  cf_output_names : string array;
+  cf_ty : pla_type;
+}
+
+(** [parse_string_covers s] parses .pla text at the cube level.
+    @raise Parse_error on bad input or [.i > 61]. *)
+val parse_string_covers : string -> cover_file
+
+(** [parse_file_covers path] reads and parses a file at the cube
+    level.  @raise Parse_error on bad input, [Sys_error] on I/O. *)
+val parse_file_covers : string -> cover_file
+
+val parse_string_covers_res : string -> (cover_file, string) result
+
+val parse_file_covers_res : string -> (cover_file, string) result
+
 (** [to_string ?ty t] renders a spec; by default type [fdr], writing
     one product line per care/DC minterm group using per-output covers
     compressed with single-cube containment only (exact, not

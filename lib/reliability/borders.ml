@@ -39,7 +39,11 @@ let same_phase_pairs spec ~o =
   else same_phase_pairs_scalar spec ~o
 
 let complexity_factor spec ~o =
-  float_of_int (same_phase_pairs spec ~o) /. float_of_int (ordered_pairs spec)
+  let same = same_phase_pairs spec ~o in
+  (* A 0-input function is constant, hence trivially regular — the
+     [local_complexity_factor] convention, not 0/0. *)
+  if Spec.ni spec = 0 then 1.0
+  else float_of_int same /. float_of_int (ordered_pairs spec)
 
 let mean_over_outputs f spec =
   let no = Spec.no spec in

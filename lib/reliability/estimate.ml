@@ -2,10 +2,23 @@ module Spec = Pla.Spec
 
 type interval = { lo : float; hi : float }
 
+(* Estimates are rates, so the model's tails are clamped into [0, 1];
+   this also squashes the -0.0 that exact-zero arithmetic produces. *)
+let clamp01 iv =
+  let c x = Float.max 0.0 (Float.min 1.0 x) in
+  { lo = c iv.lo; hi = c iv.hi }
+
+(* An [n = 0] function has no inputs to flip, hence no error events:
+   the interval is exactly {0, 0}, never 0/0 (same convention as
+   [Error_rate.rate]). *)
+let zero_interval = { lo = 0.0; hi = 0.0 }
+
 let signal_from ~n ~f1 ~f0 ~fdc =
+  if n = 0 then zero_interval
+  else
   let n = float_of_int n in
   let base = 2.0 *. f0 *. f1 in
-  if fdc = 0.0 then { lo = base; hi = base }
+  if fdc = 0.0 then clamp01 { lo = base; hi = base }
   else begin
     (* Y = sum over n neighbours of (+1 on, -1 off, 0 dc). *)
     let mu = n *. (f1 -. f0) in
@@ -17,7 +30,7 @@ let signal_from ~n ~f1 ~f0 ~fdc =
     (* E[min] = (n - E|Y|)/2 per DC minterm; as a rate: x fdc / n. *)
     let min_dc = fdc *. (n -. e_abs_y) /. (2.0 *. n) in
     let max_dc = fdc *. (n +. e_abs_y) /. (2.0 *. n) in
-    { lo = base +. min_dc; hi = base +. max_dc }
+    clamp01 { lo = base +. min_dc; hi = base +. max_dc }
   end
 
 let signal_based spec ~o =
@@ -60,15 +73,18 @@ let min_max_expectation ~nb ~kmax pmf =
   (max 0.0 !e_min, max 0.0 !e_max)
 
 let border_from ~n ~f1 ~f0 ~fdc ~b0 ~b1 ~bdc =
+  if n = 0 then zero_interval
+  else
   let nf, base, nb, p_on = border_scaffold ~n ~f1 ~f0 ~fdc ~b0 ~b1 ~bdc in
-  if fdc = 0.0 || nb = 0.0 then { lo = base; hi = base }
+  if fdc = 0.0 || nb = 0.0 then clamp01 { lo = base; hi = base }
   else begin
     let lambda = nb *. p_on in
     let kmax = int_of_float (ceil nb) in
     let e_min, e_max =
       min_max_expectation ~nb ~kmax (fun i -> Stats.poisson_pmf ~lambda i)
     in
-    { lo = base +. (fdc *. e_min /. nf); hi = base +. (fdc *. e_max /. nf) }
+    clamp01
+      { lo = base +. (fdc *. e_min /. nf); hi = base +. (fdc *. e_max /. nf) }
   end
 
 let spec_counts spec ~o =
@@ -96,10 +112,12 @@ let binomial_pmf ~n ~p k =
 
 let binomial_border_based spec ~o =
   let f1, f0, fdc, b0, b1, bdc = spec_counts spec ~o in
+  if Spec.ni spec = 0 then zero_interval
+  else
   let nf, base, nb, p_on =
     border_scaffold ~n:(Spec.ni spec) ~f1 ~f0 ~fdc ~b0 ~b1 ~bdc
   in
-  if fdc = 0.0 || nb = 0.0 then { lo = base; hi = base }
+  if fdc = 0.0 || nb = 0.0 then clamp01 { lo = base; hi = base }
   else begin
     let trials = max 1 (int_of_float (floor (nb +. 0.5))) in
     let p = min 1.0 (max 0.0 p_on) in
@@ -108,7 +126,8 @@ let binomial_border_based spec ~o =
       min_max_expectation ~nb ~kmax:trials (fun i ->
           binomial_pmf ~n:trials ~p i)
     in
-    { lo = base +. (fdc *. e_min /. nf); hi = base +. (fdc *. e_max /. nf) }
+    clamp01
+      { lo = base +. (fdc *. e_min /. nf); hi = base +. (fdc *. e_max /. nf) }
   end
 
 let mean_over spec f =

@@ -11,7 +11,9 @@
       count as a Poisson variable.
 
     All values are rates under the same [n * 2^n] normalisation as
-    {!Error_rate}. *)
+    {!Error_rate}; every interval is clamped into [0, 1] and the
+    degenerate [n = 0] spec (no inputs to flip, hence no error events)
+    yields the exact [{0, 0}] rather than 0/0. *)
 
 type interval = { lo : float; hi : float }
 

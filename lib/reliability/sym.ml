@@ -17,6 +17,16 @@ let of_covers man ~on ~dc =
   let off_b = Bdd.bnot man (Bdd.bor man on_b dc_b) in
   { on = on_b; off = off_b; dc = dc_b }
 
+let of_covers_fr man ~on ~off =
+  let on_b = Bdd.of_cover man on in
+  let off_b = Bdd.band man (Bdd.of_cover man off) (Bdd.bnot man on_b) in
+  let dc_b = Bdd.bnot man (Bdd.bor man on_b off_b) in
+  { on = on_b; off = off_b; dc = dc_b }
+
+let of_cover_sets man = function
+  | Pla.Fd_sets { on; dc } -> of_covers man ~on ~dc
+  | Pla.Fr_sets { on; off } -> of_covers_fr man ~on ~off
+
 let validate man s =
   let overlap a b = not (Bdd.is_zero man (Bdd.band man a b)) in
   if overlap s.on s.off then Some "on and off sets overlap"
@@ -46,6 +56,12 @@ let stats man s =
   let f1 = count s.on /. size in
   let f0 = count s.off /. size in
   let fdc = count s.dc /. size in
+  if n = 0 then
+    (* No inputs to flip: the event space is empty, so the rate is 0
+       and the constant function is trivially regular (cf 1, the
+       [Borders.local_complexity_factor] convention). *)
+    { f1; f0; fdc; b0 = 0.0; b1 = 0.0; bdc = 0.0; base_rate = 0.0; cf = 1.0 }
+  else begin
   (* Per input j, neighbour-membership functions via flip_var. *)
   let b0 = ref 0.0 and b1 = ref 0.0 and bdc = ref 0.0 in
   let base = ref 0.0 and same = ref 0.0 in
@@ -71,6 +87,61 @@ let stats man s =
     base_rate = !base /. events;
     cf = !same /. events;
   }
+  end
+
+(* Exact DC-assignment bounds, entirely symbolically.  Writing S for
+   the total care-neighbour count over the DC set and A for the total
+   |on_nbrs - off_nbrs| imbalance,
+     sum over DC of min(on, off) = (S - A) / 2
+     sum over DC of max(on, off) = (S + A) / 2
+   (the kernel engine's identity).  S is n satcounts; A needs the
+   per-minterm imbalance, tracked with a symbolic difference-counting
+   network: layer.(d + n) holds the set of minterms whose partial
+   on-minus-off neighbour difference over inputs 0..j is d, updated
+   per input with the disjoint membership functions
+     p_j = flip_j(on)   (neighbour j is on:  d + 1)
+     q_j = flip_j(off)  (neighbour j is off: d - 1)
+     z_j = flip_j(dc)   (neighbour j is dc:  d unchanged).
+   O(n^2) BDD products; everything stays a satcount, so the result is
+   exact (and bit-identical to the dense engines) while counts fit the
+   float mantissa. *)
+let min_max_dc man s =
+  let n = Bdd.nvars man in
+  if n = 0 then (0.0, 0.0)
+  else begin
+    let p = Array.init n (Bdd.flip_var man s.on) in
+    let q = Array.init n (Bdd.flip_var man s.off) in
+    let dc_count f = Bdd.satcount_float man (Bdd.band man f s.dc) in
+    let total = ref 0.0 in
+    for j = 0 to n - 1 do
+      total := !total +. dc_count p.(j) +. dc_count q.(j)
+    done;
+    let width = (2 * n) + 1 in
+    let layer = Array.make width (Bdd.zero man) in
+    layer.(n) <- Bdd.one man;
+    for j = 0 to n - 1 do
+      let z = Bdd.bnot man (Bdd.bor man p.(j) q.(j)) in
+      let next =
+        Array.init width (fun i ->
+            let up =
+              if i > 0 then Bdd.band man layer.(i - 1) p.(j) else Bdd.zero man
+            in
+            let down =
+              if i < width - 1 then Bdd.band man layer.(i + 1) q.(j)
+              else Bdd.zero man
+            in
+            Bdd.bor man up (Bdd.bor man down (Bdd.band man layer.(i) z)))
+      in
+      Array.blit next 0 layer 0 width
+    done;
+    let imbalance = ref 0.0 in
+    for i = 0 to width - 1 do
+      let d = abs (i - n) in
+      if d > 0 then
+        imbalance := !imbalance +. (float_of_int d *. dc_count layer.(i))
+    done;
+    ((!total -. !imbalance) /. 2.0, (!total +. !imbalance) /. 2.0)
+  end
 
 let signal_interval man s =
   let st = stats man s in

@@ -5,9 +5,11 @@
     enumeration is computed symbolically — signal probabilities,
     border counts, the complexity factor, the exact base-error — so
     the analytical min–max estimates scale to input counts far beyond
-    the dense representation's n <= 20 limit.  (The exact min/max
-    DC-assignment bounds intrinsically need per-minterm neighbour
-    minima and stay on the dense path.)
+    the dense representation's n <= 20 limit.  The exact min/max
+    DC-assignment bounds — which need per-minterm neighbour minima —
+    are recovered through {!min_max_dc}'s symbolic difference-counting
+    network, so the whole exact analysis is now available without a
+    dense table (the [Analysis.Bdd_exact] backend).
 
     The three set arguments must partition the space:
     [validate] checks this. *)
@@ -21,6 +23,14 @@ val of_spec : Bdd.man -> Pla.Spec.t -> o:int -> sets
 (** [of_covers man ~on ~dc] builds sets from covers (off = complement
     of their union) — the scalable entry point. *)
 val of_covers : Bdd.man -> on:Twolevel.Cover.t -> dc:Twolevel.Cover.t -> sets
+
+(** [of_covers_fr man ~on ~off] — type-[fr] semantics: DC is the
+    complement of the union; the on-set wins overlaps. *)
+val of_covers_fr :
+  Bdd.man -> on:Twolevel.Cover.t -> off:Twolevel.Cover.t -> sets
+
+(** [of_cover_sets man cs] dispatches on a parsed {!Pla.cover_sets}. *)
+val of_cover_sets : Bdd.man -> Pla.cover_sets -> sets
 
 (** [validate man sets] is [Some msg] when the sets overlap or leak. *)
 val validate : Bdd.man -> sets -> string option
@@ -37,7 +47,18 @@ type stats = {
   cf : float;  (** complexity factor *)
 }
 
+(** [stats man sets] extracts every aggregate in one symbolic sweep.
+    At [n = 0] the event space is empty: rates are 0 and [cf] is 1
+    (the constant function is trivially regular). *)
 val stats : Bdd.man -> sets -> stats
+
+(** [min_max_dc man sets] is the pair (sum over DC minterms of
+    min(on-neighbours, off-neighbours), same with max) as exact counts
+    — the numerators of {!Error_rate.bounds}' [min_dc]/[max_dc].
+    Computed with a symbolic difference-counting network over the
+    partial on-minus-off neighbour imbalance (O(n^2) BDD products),
+    so no 2^n enumeration is involved. *)
+val min_max_dc : Bdd.man -> sets -> float * float
 
 (** The Section 5 estimates, computed from {!stats} alone. *)
 

@@ -288,3 +288,30 @@ let random_spec ~rng ~ni ~no ~f1 ~f0 =
   s
 
 let measured_cf spec = Reliability.Borders.mean_complexity_factor spec
+
+(* ------------------------------------------------------------------ *)
+(* Cover-level generation: the n > 20 regime, where specs are cube
+   lists rather than tables.  Each cube fixes every variable with
+   probability [lit_prob] (split evenly between the polarities), so a
+   cube covers 2^(n * (1 - lit_prob)) minterms in expectation and the
+   resulting BDDs stay small while the function is far from trivial. *)
+
+let random_cube ~rng ~ni ~lit_prob =
+  Twolevel.Cube.make ~n:ni
+    (List.init ni (fun _ ->
+         if Random.State.float rng 1.0 >= lit_prob then Twolevel.Cube.Free
+         else if Random.State.bool rng then Twolevel.Cube.One
+         else Twolevel.Cube.Zero))
+
+let random_cover ~rng ~ni ~cubes ~lit_prob =
+  if cubes < 0 then invalid_arg "Synth_gen.random_cover: negative count";
+  Twolevel.Cover.make ~n:ni
+    (List.init cubes (fun _ -> random_cube ~rng ~ni ~lit_prob))
+
+let random_cover_sets ~rng ~ni ~no ~on_cubes ~dc_cubes ~lit_prob =
+  if no <= 0 then invalid_arg "Synth_gen.random_cover_sets: no outputs";
+  if ni < 1 || ni > 61 then invalid_arg "Synth_gen.random_cover_sets: ni";
+  List.init no (fun _ ->
+      let on = random_cover ~rng ~ni ~cubes:on_cubes ~lit_prob in
+      let dc = random_cover ~rng ~ni ~cubes:dc_cubes ~lit_prob in
+      Pla.Fd_sets { on; dc })

@@ -40,3 +40,31 @@ val random_spec :
 (** [measured_cf spec] is the mean complexity factor, re-exported for
     convenience. *)
 val measured_cf : Pla.Spec.t -> float
+
+(** {1 Cover-level generation — the n > 20 regime}
+
+    Cube-list specifications for sizes the dense table cannot hold,
+    feeding the symbolic and sampled analysis backends. *)
+
+(** [random_cover ~rng ~ni ~cubes ~lit_prob] is [cubes] random cubes,
+    each variable fixed (to a uniform polarity) with probability
+    [lit_prob] and free otherwise. *)
+val random_cover :
+  rng:Random.State.t ->
+  ni:int ->
+  cubes:int ->
+  lit_prob:float ->
+  Twolevel.Cover.t
+
+(** [random_cover_sets ~rng ~ni ~no ~on_cubes ~dc_cubes ~lit_prob] is
+    [no] independent fd-style outputs (on wins overlaps, off is the
+    rest), ready for [Analysis.of_cover_sets].
+    @raise Invalid_argument unless [1 <= ni <= 61] and [no > 0]. *)
+val random_cover_sets :
+  rng:Random.State.t ->
+  ni:int ->
+  no:int ->
+  on_cubes:int ->
+  dc_cubes:int ->
+  lit_prob:float ->
+  Pla.cover_sets list

@@ -27,6 +27,7 @@ let () =
       Test_aig.suite;
       Test_techmap.suite;
       Test_reliability.suite;
+      Test_analysis.suite;
       Test_kernel_diff.suite;
       Test_inject.suite;
       Test_campaign.suite;
