@@ -9,6 +9,7 @@
      gen        generate a synthetic benchmark (.pla)
      estimate   analytical min-max reliability estimates vs exact bounds
      check      static lints + cover/netlist audits (text or JSON report)
+     optimize   windowed ODC/SDC recovery + checked node rewriting
      suite      list the built-in Table 1 benchmark suite
      bench      parallel-determinism smoke benchmark (JSON output, for CI)
      worker     serve supervised tasks over stdin/stdout (internal) *)
@@ -887,20 +888,30 @@ let estimate_cmd =
    care set.  Prints a compiler-style report; optionally writes the
    same report as JSON for CI consumption.  Exit 1 iff any
    error-severity diagnostic. *)
+let equiv_engine_arg =
+  let doc = "Care-set equivalence engine: auto | exhaustive | bdd." in
+  Arg.(
+    value
+    & opt (enum
+             [ ("auto", Check.Netlist_check.Auto);
+               ("exhaustive", Check.Netlist_check.Exhaustive);
+               ("bdd", Check.Netlist_check.Bdd_backed) ])
+        Check.Netlist_check.Auto
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let check_cutoff_arg =
+  let doc =
+    "Input count up to which the $(b,auto) equivalence engine simulates \
+     exhaustively; beyond it the BDD engine takes over."
+  in
+  Arg.(
+    value
+    & opt int Check.Netlist_check.default_auto_cutoff
+    & info [ "check-cutoff" ] ~docv:"N" ~doc)
+
 let check_cmd =
   let module Diag = Check.Diag in
   let module J = Rdca_json.Jsonout in
-  let engine_arg =
-    let doc = "Care-set equivalence engine: auto | exhaustive | bdd." in
-    Arg.(
-      value
-      & opt (enum
-               [ ("auto", Check.Netlist_check.Auto);
-                 ("exhaustive", Check.Netlist_check.Exhaustive);
-                 ("bdd", Check.Netlist_check.Bdd_backed) ])
-          Check.Netlist_check.Auto
-      & info [ "engine" ] ~docv:"ENGINE" ~doc)
-  in
   let json_arg =
     let doc = "Write the diagnostic report as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
@@ -919,8 +930,13 @@ let check_cmd =
       json;
     if Diag.has_errors diags then 1 else 0
   in
-  let run input strategy mode engine lint_only json jobs =
+  let run input strategy mode engine cutoff lint_only json jobs =
     with_jobs_opt jobs @@ fun () ->
+    if cutoff < 0 then begin
+      Fmt.epr "rdca: --check-cutoff must be non-negative@.";
+      1
+    end
+    else
     match Flow.load_source input with
     | Error (Flow.Check_failed { diags; _ }) ->
         (* The load itself was refused (on/off overlap): that IS the
@@ -945,7 +961,8 @@ let check_cmd =
               in
               let structure = Check.Netlist_check.check r.Flow.netlist in
               let equiv_diags =
-                Check.Netlist_check.equiv_spec ~engine ~spec r.Flow.netlist
+                Check.Netlist_check.equiv_spec ~engine ~auto_cutoff:cutoff
+                  ~spec r.Flow.netlist
               in
               emit input json (lint @ cover_diags @ structure @ equiv_diags)
         end
@@ -953,8 +970,125 @@ let check_cmd =
   let doc = "Statically check a spec and its synthesized implementation" in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ input_arg $ strategy_args $ mode_arg $ engine_arg
-      $ lint_only_arg $ json_arg $ jobs_arg)
+      const run $ input_arg $ strategy_args $ mode_arg $ equiv_engine_arg
+      $ check_cutoff_arg $ lint_only_arg $ json_arg $ jobs_arg)
+
+(* Post-mapping don't-care recovery: synthesize, sweep the windowed
+   ODC/SDC analysis over the mapped netlist, rewrite node functions on
+   their DC patterns, and prove the rewrite preserved the care set.
+   Exit 1 on any structured failure — including a SAT/BDD engine
+   disagreement under --dc-backend differential. *)
+let optimize_cmd =
+  let module Dc = Rdca_dc.Dc in
+  let module Diag = Check.Diag in
+  let module J = Rdca_json.Jsonout in
+  let dc_window_arg =
+    let doc = "Window TFI/TFO depth for don't-care extraction." in
+    Arg.(
+      value
+      & opt int Dc.default_config.Dc.depth
+      & info [ "dc-window" ] ~docv:"K" ~doc)
+  in
+  let dc_backend_arg =
+    let doc =
+      "Window engine: auto | sat | bdd | differential (run both, fail on any \
+       mismatch)."
+    in
+    Arg.(
+      value
+      & opt (enum
+               [ ("auto", Dc.Auto); ("sat", Dc.Sat_engine);
+                 ("bdd", Dc.Bdd_engine); ("differential", Dc.Differential) ])
+          Dc.Auto
+      & info [ "dc-backend" ] ~docv:"ENGINE" ~doc)
+  in
+  let dc_strategy_args =
+    let method_ =
+      let doc = "DC re-assignment method: ranking | lcf | complete." in
+      Arg.(
+        value
+        & opt (enum
+                 [ ("ranking", `Ranking); ("lcf", `Lcf);
+                   ("complete", `Complete) ])
+            `Complete
+        & info [ "dc-strategy" ] ~docv:"METHOD" ~doc)
+    in
+    let fraction =
+      let doc = "Fraction of ranked DC patterns to assign (ranking)." in
+      Arg.(value & opt float 1.0 & info [ "dc-fraction" ] ~docv:"F" ~doc)
+    in
+    let threshold =
+      let doc = "Local-complexity-factor threshold (lcf)." in
+      Arg.(value & opt float 0.55 & info [ "dc-threshold" ] ~docv:"T" ~doc)
+    in
+    let combine m f t =
+      match m with
+      | `Ranking -> Dc.Ranking f
+      | `Lcf -> Dc.Lcf t
+      | `Complete -> Dc.Complete
+    in
+    Term.(const combine $ method_ $ fraction $ threshold)
+  in
+  let json_arg =
+    let doc = "Write the DC-extraction report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run input strategy mode depth backend dc_strategy engine cutoff json jobs
+      =
+    with_jobs_opt jobs @@ fun () ->
+    if depth < 1 then begin
+      Fmt.epr "rdca: --dc-window must be at least 1@.";
+      1
+    end
+    else if cutoff < 0 then begin
+      Fmt.epr "rdca: --check-cutoff must be non-negative@.";
+      1
+    end
+    else
+      with_spec input @@ fun spec ->
+      match Flow.synthesize_result ~mode ~strategy spec with
+      | Error e ->
+          Fmt.epr "rdca: %s@." (Flow.error_to_string e);
+          1
+      | Ok r -> (
+          let config = { Dc.default_config with Dc.depth; backend } in
+          match
+            Flow.optimize_checked ~config ~dc_strategy ~equiv:engine
+              ~auto_cutoff:cutoff ~spec r.Flow.netlist
+          with
+          | Error (Flow.Check_failed { diags; _ }) ->
+              Fmt.pr "%a@." Diag.pp_report diags;
+              1
+          | Error e ->
+              Fmt.epr "rdca: %s@." (Flow.error_to_string e);
+              1
+          | Ok (opt, equiv_diags) ->
+              let rep = opt.Dc.opt_report in
+              Fmt.pr "backend:         %s, window depth %d@."
+                (Dc.backend_name backend) depth;
+              Fmt.pr "dc strategy:     %s@." (Dc.strategy_name dc_strategy);
+              Fmt.pr "nodes analyzed:  %d (%d skipped over-arity)@."
+                rep.Dc.analyzed rep.Dc.skipped;
+              Fmt.pr "nodes with DC:   %d@." rep.Dc.nodes_with_dc;
+              Fmt.pr "SDC patterns:    %d@." rep.Dc.sdc_patterns;
+              Fmt.pr "ODC patterns:    %d@." rep.Dc.odc_patterns;
+              if backend = Dc.Differential then
+                Fmt.pr "backends agree:  yes (%d window(s))@." rep.Dc.analyzed;
+              Fmt.pr "rewritten:       %d node(s)@."
+                (List.length opt.Dc.rewritten);
+              Fmt.pr "check:           care-set equivalence OK (%d warning(s))@."
+                (Diag.count Diag.Warn equiv_diags);
+              Option.iter
+                (fun path -> J.write_file path (Dc.opt_result_to_json opt))
+                json;
+              0)
+  in
+  let doc = "Recover windowed network don't cares and rewrite node functions" in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(
+      const run $ input_arg $ strategy_args $ mode_arg $ dc_window_arg
+      $ dc_backend_arg $ dc_strategy_args $ equiv_engine_arg
+      $ check_cutoff_arg $ json_arg $ jobs_arg)
 
 let suite_cmd =
   let run () =
@@ -1124,7 +1258,7 @@ let main =
   Cmd.group info
     [
       stats_cmd; assign_cmd; synth_cmd; faultsim_cmd; campaign_cmd; gen_cmd;
-      estimate_cmd; check_cmd; suite_cmd; bench_cmd; worker_cmd;
+      estimate_cmd; check_cmd; optimize_cmd; suite_cmd; bench_cmd; worker_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -5,7 +5,7 @@ type location =
   | Output of int
   | Input_var of int
   | Minterm of { output : int; minterm : int }
-  | Term of { line : int }
+  | Term of { line : int; col : int }
   | Cube of { output : int; index : int }
   | Node of int
 
@@ -55,7 +55,7 @@ let location_rank = function
   | Output o -> (1, o, 0)
   | Input_var i -> (2, i, 0)
   | Minterm { output; minterm } -> (3, output, minterm)
-  | Term { line } -> (4, line, 0)
+  | Term { line; col } -> (4, line, col)
   | Cube { output; index } -> (5, output, index)
   | Node id -> (6, id, 0)
 
@@ -74,7 +74,9 @@ let location_to_string = function
   | Output o -> Printf.sprintf "y%d" o
   | Input_var i -> Printf.sprintf "x%d" i
   | Minterm { output; minterm } -> Printf.sprintf "y%d/m%d" output minterm
-  | Term { line } -> Printf.sprintf "term:%d" line
+  | Term { line; col } ->
+      if col > 0 then Printf.sprintf "term:%d:%d" line col
+      else Printf.sprintf "term:%d" line
   | Cube { output; index } -> Printf.sprintf "y%d/cube%d" output index
   | Node id -> Printf.sprintf "node:%d" id
 
@@ -121,7 +123,8 @@ let location_to_json = function
           ("output", J.Int output);
           ("minterm", J.Int minterm);
         ]
-  | Term { line } -> J.Obj [ ("kind", J.String "term"); ("line", J.Int line) ]
+  | Term { line; col } ->
+      J.Obj [ ("kind", J.String "term"); ("line", J.Int line); ("col", J.Int col) ]
   | Cube { output; index } ->
       J.Obj
         [

@@ -8,15 +8,17 @@
 
 type severity = Info | Warn | Error
 
-(** Where a diagnostic points.  [Term] carries a 1-based source line
-    of a .pla product term; [Cube] indexes into a synthesized cover;
-    [Node] is a netlist/AIG node id. *)
+(** Where a diagnostic points.  [Term] carries the 1-based source line
+    of a .pla product term plus the 1-based column of the offending
+    field (the input cube or one output character; [col = 0] when
+    unknown) so editors can jump to it; [Cube] indexes into a
+    synthesized cover; [Node] is a netlist/AIG node id. *)
 type location =
   | Global
   | Output of int
   | Input_var of int
   | Minterm of { output : int; minterm : int }
-  | Term of { line : int }
+  | Term of { line : int; col : int }
   | Cube of { output : int; index : int }
   | Node of int
 

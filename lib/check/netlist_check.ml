@@ -312,7 +312,9 @@ let equiv_bdd ~spec nl =
     outs;
   List.rev !diags
 
-let equiv_spec ?(engine = Auto) ~spec nl =
+let default_auto_cutoff = 12
+
+let equiv_spec ?(engine = Auto) ?(auto_cutoff = default_auto_cutoff) ~spec nl =
   if Netlist.ni nl <> Spec.ni spec then
     [
       Diag.error ~code:"arity-mismatch" ~loc:Diag.Global
@@ -328,5 +330,5 @@ let equiv_spec ?(engine = Auto) ~spec nl =
     | Exhaustive -> equiv_exhaustive ~spec nl
     | Bdd_backed -> equiv_bdd ~spec nl
     | Auto ->
-        if Spec.ni spec <= 12 then equiv_exhaustive ~spec nl
+        if Spec.ni spec <= auto_cutoff then equiv_exhaustive ~spec nl
         else equiv_bdd ~spec nl

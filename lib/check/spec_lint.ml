@@ -137,7 +137,7 @@ let overlap_errors pla =
   List.map
     (fun (c : Pla.conflict) ->
       Diag.error ~code:"on-off-overlap"
-        ~loc:(Diag.Minterm { output = c.Pla.c_output; minterm = c.Pla.c_minterm })
+        ~loc:(Diag.Term { line = c.Pla.c_line; col = c.Pla.c_col })
         "minterm %d of output y%d is asserted both on and off (term at line \
          %d drives it %s over %s)"
         c.Pla.c_minterm c.Pla.c_output c.Pla.c_line
@@ -152,7 +152,7 @@ let lint_pla (pla : Pla.t) =
     List.map
       (fun (c : Pla.conflict) ->
         Diag.warn ~code:"contradictory-term"
-          ~loc:(Diag.Minterm { output = c.Pla.c_output; minterm = c.Pla.c_minterm })
+          ~loc:(Diag.Term { line = c.Pla.c_line; col = c.Pla.c_col })
           "minterm %d of output y%d is redeclared %s after %s (term at line %d)"
           c.Pla.c_minterm c.Pla.c_output
           (phase_name c.Pla.c_second)
@@ -173,7 +173,8 @@ let lint_pla (pla : Pla.t) =
         match Hashtbl.find_opt seen key with
         | Some first_line ->
             Some
-              (Diag.warn ~code:"duplicate-term" ~loc:(Diag.Term { line = t.Pla.line })
+              (Diag.warn ~code:"duplicate-term"
+                 ~loc:(Diag.Term { line = t.Pla.line; col = t.Pla.col })
                  "product term duplicates line %d" first_line)
         | None ->
             Hashtbl.add seen key t.Pla.line;

@@ -1,0 +1,112 @@
+type t = {
+  center : int;
+  leaves : int array;
+  members : int array;
+  tfo : int array;
+  roots : int array;
+}
+
+let fanouts nl =
+  let n = Netlist.node_count nl in
+  let deg = Array.make n 0 in
+  Netlist.iter_nodes nl (fun _ _ fis ->
+      Array.iter (fun f -> deg.(f) <- deg.(f) + 1) fis);
+  let out = Array.init n (fun id -> Array.make deg.(id) 0) in
+  let fill = Array.make n 0 in
+  Netlist.iter_nodes nl (fun id _ fis ->
+      Array.iter
+        (fun f ->
+          out.(f).(fill.(f)) <- id;
+          fill.(f) <- fill.(f) + 1)
+        fis);
+  out
+
+let sorted_keys tbl =
+  let keys = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+  Array.of_list (List.sort compare keys)
+
+let extract nl ~fanouts ~depth v =
+  if depth < 1 then invalid_arg "Window.extract: depth must be >= 1";
+  if v < Netlist.ni nl then
+    invalid_arg "Window.extract: primary inputs have no window";
+  (* Forward BFS: the depth-limited TFO seed. *)
+  let tfo0 = Hashtbl.create 64 in
+  Hashtbl.replace tfo0 v ();
+  let frontier = ref [ v ] in
+  for _ = 1 to depth do
+    let next = ref [] in
+    List.iter
+      (fun n ->
+        Array.iter
+          (fun f ->
+            if not (Hashtbl.mem tfo0 f) then begin
+              Hashtbl.replace tfo0 f ();
+              next := f :: !next
+            end)
+          fanouts.(n))
+      !frontier;
+    frontier := !next
+  done;
+  (* Backward BFS from every TFO node: the full window node set. *)
+  let sset = Hashtbl.create 64 in
+  Hashtbl.iter (fun n () -> Hashtbl.replace sset n ()) tfo0;
+  let frontier = ref (Hashtbl.fold (fun n () acc -> n :: acc) tfo0 []) in
+  for _ = 1 to depth do
+    let next = ref [] in
+    List.iter
+      (fun n ->
+        Array.iter
+          (fun f ->
+            if not (Hashtbl.mem sset f) then begin
+              Hashtbl.replace sset f ();
+              next := f :: !next
+            end)
+          (Netlist.fanins nl n))
+      !frontier;
+    frontier := !next
+  done;
+  let snodes = sorted_keys sset in
+  (* The true fanout side: forward closure of [v] within the window
+     (ascending id = topological order).  This can exceed the BFS seed
+     under reconvergence — a deep descendant pulled in as someone's
+     fanin must still be duplicated in the miter. *)
+  let tfo_set = Hashtbl.create 64 in
+  Hashtbl.replace tfo_set v ();
+  Array.iter
+    (fun n ->
+      if n > v && not (Hashtbl.mem tfo_set n) then
+        if
+          Array.exists
+            (fun f -> Hashtbl.mem tfo_set f)
+            (Netlist.fanins nl n)
+        then Hashtbl.replace tfo_set n ())
+    snodes;
+  (* Leaves: primary inputs inside the window, plus out-of-window
+     drivers of window members. *)
+  let ni = Netlist.ni nl in
+  let leaf_set = Hashtbl.create 16 in
+  let members = ref [] in
+  Array.iter
+    (fun n ->
+      if n < ni then Hashtbl.replace leaf_set n ()
+      else begin
+        members := n :: !members;
+        Array.iter
+          (fun f -> if not (Hashtbl.mem sset f) then Hashtbl.replace leaf_set f ())
+          (Netlist.fanins nl n)
+      end)
+    snodes;
+  let members = Array.of_list (List.rev !members) in
+  (* Roots: TFO nodes observable outside the duplicated side. *)
+  let is_output = Hashtbl.create 16 in
+  Array.iter (fun o -> Hashtbl.replace is_output o ()) (Netlist.outputs nl);
+  let tfo = sorted_keys tfo_set in
+  let roots =
+    Array.of_list
+      (List.filter
+         (fun n ->
+           Hashtbl.mem is_output n
+           || Array.exists (fun f -> not (Hashtbl.mem tfo_set f)) fanouts.(n))
+         (Array.to_list tfo))
+  in
+  { center = v; leaves = sorted_keys leaf_set; members; tfo; roots }

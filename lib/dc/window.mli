@@ -1,0 +1,39 @@
+(** TFI/TFO window extraction around a netlist node.
+
+    A window is the node neighbourhood the don't-care engines reason
+    about: the transitive fanout of the centre node up to [depth]
+    levels, plus the transitive fanin (again [depth] levels) of every
+    node so collected.  Everything outside is abstracted away —
+    boundary drivers become free {e leaf} variables, and observability
+    is judged at the {e roots}, the window nodes whose value escapes
+    the duplicated fanout side.  Both approximations are conservative:
+    don't cares computed on the window are genuine don't cares of the
+    full network (see DESIGN.md §13). *)
+
+type t = {
+  center : int;  (** the node under analysis *)
+  leaves : int array;
+      (** free boundary variables, ascending id: primary inputs inside
+          the window plus out-of-window drivers of window nodes *)
+  members : int array;
+      (** non-leaf window nodes in topological (ascending id) order;
+          every fanin of a member is a member or a leaf *)
+  tfo : int array;
+      (** the members whose value can change when [center] flips: the
+          forward closure of [center] {e within} the window, ascending;
+          always contains [center] *)
+  roots : int array;
+      (** observability points: [tfo] nodes that are primary outputs
+          or have a fanout escaping [tfo] *)
+}
+
+(** [fanouts nl] is the fanout adjacency of every node (one entry per
+    fanin occurrence, so duplicated fanins appear twice).  Computed
+    once per netlist and shared across window extractions. *)
+val fanouts : Netlist.t -> int array array
+
+(** [extract nl ~fanouts ~depth v] is the window of depth [depth]
+    around node [v].
+    @raise Invalid_argument if [depth < 1] or [v] is a primary
+    input. *)
+val extract : Netlist.t -> fanouts:int array array -> depth:int -> int -> t

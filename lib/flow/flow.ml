@@ -303,6 +303,29 @@ let synthesize_checked ?lib ?factored ?budget ?analysis ?analysis_params ?equiv
         Error (Check_failed { subject = "implementation"; diags })
       else Ok (r, diags)
 
+let optimize_checked ?config ?dc_strategy ?equiv ?auto_cutoff ~spec nl =
+  match Rdca_dc.Dc.optimize ?config ?strategy:dc_strategy nl with
+  | exception Invalid_argument msg -> Error (Synthesis_failure msg)
+  | exception Failure msg -> Error (Synthesis_failure msg)
+  | opt ->
+      if opt.Rdca_dc.Dc.opt_report.Rdca_dc.Dc.disagreements > 0 then
+        let diags =
+          [
+            Check.Diag.error ~code:"dc-backend-mismatch" ~loc:Check.Diag.Global
+              "SAT and BDD don't-care engines disagree on %d window(s)"
+              opt.Rdca_dc.Dc.opt_report.Rdca_dc.Dc.disagreements;
+          ]
+        in
+        Error (Check_failed { subject = "dc-optimize"; diags })
+      else
+        let diags =
+          Check.Netlist_check.equiv_spec ?engine:equiv ?auto_cutoff ~spec
+            opt.Rdca_dc.Dc.netlist
+        in
+        if Check.Diag.has_errors diags then
+          Error (Check_failed { subject = "dc-optimize"; diags })
+        else Ok (opt, diags)
+
 let implement_shared spec =
   let ni = Spec.ni spec and no = Spec.no spec in
   let ons = Parallel.Pool.init no (fun o -> Spec.on_bv spec ~o) in

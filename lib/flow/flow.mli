@@ -210,6 +210,31 @@ val synthesize_checked :
   Pla.Spec.t ->
   (result * Check.Diag.t list, error) Stdlib.result
 
+(** {1 Network don't-care optimization}
+
+    Post-mapping ODC/SDC recovery: {!Rdca_dc.Dc.optimize} rewrites node
+    functions on their windowed don't cares, gated here by the same
+    care-set equivalence proof the synthesis audit uses. *)
+
+(** [optimize_checked ?config ?dc_strategy ?equiv ?auto_cutoff ~spec nl]
+    runs the windowed DC optimizer on [nl] and proves the rewritten
+    netlist still realises [spec] on its care set
+    ({!Check.Netlist_check.equiv_spec} with the given engine and
+    [Auto] cutoff).  Failure paths are structured: a [Differential]
+    backend disagreement refuses with [Check_failed] (code
+    [dc-backend-mismatch]), as does any care-set mismatch — the
+    optimizer's rewrites are function-preserving by construction, so a
+    mismatch means an engine bug, never a quality trade-off.  On
+    success the equivalence diagnostics (all non-error) ride along. *)
+val optimize_checked :
+  ?config:Rdca_dc.Dc.config ->
+  ?dc_strategy:Rdca_dc.Dc.strategy ->
+  ?equiv:Check.Netlist_check.equiv_engine ->
+  ?auto_cutoff:int ->
+  spec:Pla.Spec.t ->
+  Netlist.t ->
+  (Rdca_dc.Dc.opt_result * Check.Diag.t list, error) Stdlib.result
+
 (** {1 Multi-output (shared-cube) variant}
 
     Uses {!Espresso.Multi} so product terms are shared across outputs

@@ -61,6 +61,14 @@ let set_outputs t ids =
 let outputs t = Array.copy t.outputs
 let no t = Array.length t.outputs
 
+let copy t =
+  {
+    ni = t.ni;
+    nodes = Array.copy t.nodes;
+    next = t.next;
+    outputs = Array.copy t.outputs;
+  }
+
 let check_id t id =
   if id < 0 || id >= t.next then invalid_arg "Netlist: node id out of range"
 

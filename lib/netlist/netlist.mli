@@ -33,6 +33,12 @@ val outputs : t -> int array
 
 val no : t -> int
 
+(** [copy t] is an independent netlist: further {!add} /
+    {!replace_gate} / {!set_outputs} on either side do not affect the
+    other.  Node records are immutable, so this is a shallow (cheap)
+    copy. *)
+val copy : t -> t
+
 (** [gate t id] and [fanins t id] inspect a node. *)
 val gate : t -> int -> Gate.t
 

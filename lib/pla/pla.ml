@@ -2,7 +2,13 @@ module Spec = Spec
 
 type pla_type = F | Fd | Fr | Fdr
 
-type term = { input : Twolevel.Cube.t; output_chars : string; line : int }
+type term = {
+  input : Twolevel.Cube.t;
+  output_chars : string;
+  line : int;
+  col : int;
+  out_col : int;
+}
 
 type conflict = {
   c_output : int;
@@ -10,6 +16,7 @@ type conflict = {
   c_first : Spec.phase;
   c_second : Spec.phase;
   c_line : int;
+  c_col : int;
 }
 
 type t = {
@@ -31,8 +38,26 @@ let default_names ~ni ~no =
 
 type line =
   | Directive of string * string list
-  | Term of string * string
+  | Term of { ins : string; outs : string; col_in : int; col_out : int }
   | Blank
+
+(* Tokens with their 1-based starting columns in the raw line (tabs
+   count as one column, like most editors' default). *)
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if line.[!i] = ' ' then incr i
+    else begin
+      let start = !i in
+      while !i < n && line.[!i] <> ' ' do
+        incr i
+      done;
+      toks := (String.sub line start (!i - start), start + 1) :: !toks
+    end
+  done;
+  List.rev !toks
 
 let classify_line raw =
   let line =
@@ -41,20 +66,19 @@ let classify_line raw =
     | None -> raw
   in
   let line = String.map (function '\t' | '\r' -> ' ' | c -> c) line in
-  let line = String.trim line in
-  if line = "" then Blank
-  else if line.[0] = '.' then
-    match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+  if String.trim line = "" then Blank
+  else if (String.trim line).[0] = '.' then
+    match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
     | d :: args -> Directive (d, args)
     | [] -> Blank
   else
-    match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-    | [ ins; outs ] -> Term (ins, outs)
-    | [ single ] ->
+    match tokenize line with
+    | [ (ins, col_in); (outs, col_out) ] -> Term { ins; outs; col_in; col_out }
+    | [ (single, col_in) ] ->
         (* Single-output PLAs sometimes omit the space; split on width
            later — here treat as error since we can't know .i yet. *)
-        Term (single, "")
-    | _ -> fail "malformed product term: %S" line
+        Term { ins = single; outs = ""; col_in; col_out = 0 }
+    | _ -> fail "malformed product term: %S" (String.trim line)
 
 let pla_type_of_string = function
   | "f" -> F
@@ -95,7 +119,8 @@ let parse_string text =
         | Directive (".type", _) -> fail ".type: expected exactly one argument"
         | Directive ((".e" | ".end"), _) -> ended := true
         | Directive (d, _) -> fail "unsupported directive %S" d
-        | Term (ins, outs) -> terms := (i + 1, ins, outs) :: !terms)
+        | Term { ins; outs; col_in; col_out } ->
+            terms := (i + 1, col_in, col_out, ins, outs) :: !terms)
     lines;
   if !ni < 0 then fail "missing or negative .i";
   if !no < 0 then fail "missing or negative .o";
@@ -116,7 +141,7 @@ let parse_string text =
     | _ -> Spec.Dc
   in
   let conflicts = ref [] in
-  let drive ~line ~o ~m p =
+  let drive ~line ~col ~o ~m p =
     let idx = (o * size) + m in
     let prev = Char.code (Bytes.get explicit idx) in
     let prev_code = prev land 0x7 and reported = prev land 0x8 <> 0 in
@@ -128,6 +153,7 @@ let parse_string text =
            c_first = phase_of_code prev_code;
            c_second = p;
            c_line = line;
+           c_col = col;
          }
          :: !conflicts);
     let report_bit =
@@ -138,7 +164,7 @@ let parse_string text =
     Spec.set spec ~o ~m p
   in
   let parsed_terms = ref [] in
-  let apply_term (line, ins, outs) =
+  let apply_term (line, col_in, col_out, ins, outs) =
     if String.length ins <> ni then fail "term %S: expected %d inputs" ins ni;
     if String.length outs <> no then
       fail "term %S %S: expected %d outputs" ins outs no;
@@ -150,16 +176,20 @@ let parse_string text =
       (fun m ->
         String.iteri
           (fun o c ->
+            (* Column of this output character in the source line. *)
+            let col = if col_out > 0 then col_out + o else 0 in
             match (c, !ty) with
-            | '1', _ | '4', _ -> drive ~line ~o ~m Spec.On
-            | ('-' | '~' | '2'), (Fd | Fdr) -> drive ~line ~o ~m Spec.Dc
+            | '1', _ | '4', _ -> drive ~line ~col ~o ~m Spec.On
+            | ('-' | '~' | '2'), (Fd | Fdr) -> drive ~line ~col ~o ~m Spec.Dc
             | ('-' | '~' | '2'), (F | Fr) -> () (* no information *)
-            | '0', (Fr | Fdr) -> drive ~line ~o ~m Spec.Off
+            | '0', (Fr | Fdr) -> drive ~line ~col ~o ~m Spec.Off
             | '0', (F | Fd) -> () (* no information *)
             | c, _ -> fail "bad output character %C" c)
           outs)
       cube;
-    parsed_terms := { input = cube; output_chars = outs; line } :: !parsed_terms
+    parsed_terms :=
+      { input = cube; output_chars = outs; line; col = col_in; out_col = col_out }
+      :: !parsed_terms
   in
   List.iter apply_term (List.rev !terms);
   let input_names, output_names =
@@ -227,7 +257,8 @@ let parse_string_covers text =
         | Directive (".type", _) -> fail ".type: expected exactly one argument"
         | Directive ((".e" | ".end"), _) -> ended := true
         | Directive (d, _) -> fail "unsupported directive %S" d
-        | Term (ins, outs) -> terms := (i + 1, ins, outs) :: !terms)
+        | Term { ins; outs; col_in = _; col_out = _ } ->
+            terms := (i + 1, ins, outs) :: !terms)
     lines;
   if !ni < 0 then fail "missing or negative .i";
   if !no < 0 then fail "missing or negative .o";

@@ -21,10 +21,18 @@ type pla_type = F | Fd | Fr | Fdr
 
 (** A raw product term as it appeared in the source text: the input
     cube, the verbatim output-character column and the 1-based source
-    line — the unit the {!Check} spec linter reasons about (the dense
-    {!Spec.t} has already resolved every term, so duplicate or
-    contradictory lines are invisible there). *)
-type term = { input : Twolevel.Cube.t; output_chars : string; line : int }
+    position — the unit the {!Check} spec linter reasons about (the
+    dense {!Spec.t} has already resolved every term, so duplicate or
+    contradictory lines are invisible there).  [col] is the 1-based
+    column of the input cube, [out_col] of the output field (0 when the
+    term had no separate output token). *)
+type term = {
+  input : Twolevel.Cube.t;
+  output_chars : string;
+  line : int;
+  col : int;
+  out_col : int;
+}
 
 (** A minterm that two product terms drive to contradictory phases.
     [first] is the phase already recorded, [second] the later one; the
@@ -36,6 +44,9 @@ type conflict = {
   c_first : Spec.phase;
   c_second : Spec.phase;
   c_line : int;  (** source line of the second, conflicting term *)
+  c_col : int;
+      (** 1-based column of the conflicting output character on that
+          line (0 when unknown) *)
 }
 
 type t = {

@@ -1,0 +1,99 @@
+type t = { s : Solver.t; mutable tru : Solver.lit }
+
+let create s = { s; tru = -1 }
+let solver b = b.s
+let fresh b = Solver.pos (Solver.new_var b.s)
+
+let const b v =
+  if b.tru < 0 then begin
+    let l = fresh b in
+    Solver.add_clause b.s [ l ];
+    b.tru <- l
+  end;
+  if v then b.tru else Solver.lnot b.tru
+
+let and_ b xs =
+  match Array.length xs with
+  | 0 -> const b true
+  | 1 -> xs.(0)
+  | n ->
+      let y = fresh b in
+      let long = ref [ y ] in
+      for k = 0 to n - 1 do
+        Solver.add_clause b.s [ Solver.lnot y; xs.(k) ];
+        long := Solver.lnot xs.(k) :: !long
+      done;
+      Solver.add_clause b.s !long;
+      y
+
+let or_ b xs =
+  match Array.length xs with
+  | 0 -> const b false
+  | 1 -> xs.(0)
+  | n ->
+      let y = fresh b in
+      let long = ref [ Solver.lnot y ] in
+      for k = 0 to n - 1 do
+        Solver.add_clause b.s [ y; Solver.lnot xs.(k) ];
+        long := xs.(k) :: !long
+      done;
+      Solver.add_clause b.s !long;
+      y
+
+let xor_ b x y =
+  let z = fresh b in
+  let n = Solver.lnot in
+  Solver.add_clause b.s [ n z; x; y ];
+  Solver.add_clause b.s [ n z; n x; n y ];
+  Solver.add_clause b.s [ z; n x; y ];
+  Solver.add_clause b.s [ z; x; n y ];
+  z
+
+let equiv b x y = Solver.lnot (xor_ b x y)
+
+let xor_chain b xs =
+  let acc = ref xs.(0) in
+  for k = 1 to Array.length xs - 1 do
+    acc := xor_ b !acc xs.(k)
+  done;
+  !acc
+
+(* One clause per input combination: the conjunction of fanin values
+   matching index [idx] forces the output to the table's bit. *)
+let cell b tt arity fanins =
+  let y = fresh b in
+  for idx = 0 to (1 lsl arity) - 1 do
+    let cl = ref [ (if Logic.Truth.eval tt idx then y else Solver.lnot y) ] in
+    for k = 0 to arity - 1 do
+      let l = fanins.(k) in
+      cl := (if idx land (1 lsl k) <> 0 then Solver.lnot l else l) :: !cl
+    done;
+    Solver.add_clause b.s !cl
+  done;
+  y
+
+let gate b (g : Netlist.Gate.t) fanins =
+  let n = Array.length fanins in
+  (match Netlist.Gate.arity g with
+  | Some a when a <> n ->
+      invalid_arg
+        (Printf.sprintf "Cnf.gate: %s expects %d fanins, got %d"
+           (Netlist.Gate.name g) a n)
+  | Some _ -> ()
+  | None ->
+      if n < 2 then
+        invalid_arg
+          (Printf.sprintf "Cnf.gate: variadic %s needs >= 2 fanins"
+             (Netlist.Gate.name g)));
+  match g with
+  | Netlist.Gate.Input _ -> invalid_arg "Cnf.gate: Input has no fanins"
+  | Const v -> const b v
+  | Buf -> fanins.(0)
+  | Not -> Solver.lnot fanins.(0)
+  | And -> and_ b fanins
+  | Or -> or_ b fanins
+  | Nand -> Solver.lnot (and_ b fanins)
+  | Nor -> Solver.lnot (or_ b fanins)
+  | Xor -> xor_chain b fanins
+  | Xnor -> Solver.lnot (xor_chain b fanins)
+  | Cell c -> cell b c.tt c.arity fanins

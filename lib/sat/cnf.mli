@@ -1,0 +1,44 @@
+(** Tseitin CNF encoding of gate-level logic into a {!Solver}.
+
+    A builder wraps a solver and hands out literals for logic
+    functions: each [and_]/[or_]/[xor_] introduces one fresh variable
+    plus the standard Tseitin clauses, so the encoding is linear in
+    the circuit and equisatisfiable by construction.  {!gate} encodes
+    any {!Netlist.Gate.t} — [Cell] instances expand their truth table
+    into one clause per input combination (at most [2^5] by the
+    {!Logic.Truth} width limit).
+
+    [Buf]/[Not] return the fanin literal (complemented), creating no
+    variable: inverters are free, as in the AIG. *)
+
+type t
+
+(** [create solver] is a builder allocating variables in [solver]. *)
+val create : Solver.t -> t
+
+val solver : t -> Solver.t
+
+(** [fresh b] is a fresh unconstrained variable, as a positive
+    literal. *)
+val fresh : t -> Solver.lit
+
+(** [const b v] is a literal constrained to the constant [v] (one
+    shared variable per builder). *)
+val const : t -> bool -> Solver.lit
+
+(** Derived connectives.  Empty [and_] is constant 1, empty [or_]
+    constant 0; singletons return their literal unchanged. *)
+
+val and_ : t -> Solver.lit array -> Solver.lit
+
+val or_ : t -> Solver.lit array -> Solver.lit
+
+val xor_ : t -> Solver.lit -> Solver.lit -> Solver.lit
+
+(** [equiv b x y] is the XNOR literal — 1 iff [x = y]. *)
+val equiv : t -> Solver.lit -> Solver.lit -> Solver.lit
+
+(** [gate b g fanins] encodes one netlist gate over fanin literals and
+    returns its output literal.
+    @raise Invalid_argument on [Input] gates or arity mismatch. *)
+val gate : t -> Netlist.Gate.t -> Solver.lit array -> Solver.lit

@@ -1,0 +1,9 @@
+(** A small CDCL SAT solver with Tseitin circuit encoding.
+
+    {!Solver} is the CDCL core (watched literals, first-UIP learning,
+    VSIDS-lite, phase saving, Luby restarts, incremental assumptions);
+    {!Cnf} encodes {!Netlist.Gate} logic on top of it.  The network
+    don't-care analysis ({!Rdca_dc.Dc}) is the client. *)
+
+module Solver = Solver
+module Cnf = Cnf

@@ -1,0 +1,68 @@
+(** A small CDCL SAT solver.
+
+    The engine behind the network don't-care computation
+    ({!Rdca_dc.Dc}): conflict-driven clause learning with two watched
+    literals per clause, first-UIP conflict analysis with backjumping,
+    VSIDS-style variable activities (bump on analysis, exponential
+    decay), phase saving and Luby restarts — the standard MiniSat
+    recipe at demonstration scale.
+
+    Literals are packed integers [2*var + sign] ([sign = 1] for the
+    negated form), the encoding the AIG already uses for its edges.
+    Solving is incremental over {e assumptions}: the clause database
+    persists across {!solve} calls, so one window miter serves the
+    whole sweep of fanin-pattern queries. *)
+
+type t
+
+(** [create ()] is an empty solver (no variables, no clauses). *)
+val create : unit -> t
+
+(** [new_var t] allocates a fresh variable and returns its index. *)
+val new_var : t -> int
+
+val nvars : t -> int
+
+(** Literal packing. *)
+
+type lit = int
+
+(** [pos v] / [neg v] are the positive / negated literals of [v]. *)
+val pos : int -> lit
+
+val neg : int -> lit
+
+(** [lnot l] complements a literal. *)
+val lnot : lit -> lit
+
+val var_of : lit -> int
+
+val is_neg : lit -> bool
+
+(** [add_clause t lits] adds a clause.  Tautologies are dropped and
+    duplicate literals merged; the empty clause makes the instance
+    trivially unsatisfiable.
+    @raise Invalid_argument on an out-of-range literal. *)
+val add_clause : t -> lit list -> unit
+
+type result = Sat | Unsat
+
+(** [solve ?assumptions t] decides satisfiability of the clause
+    database under the given assumption literals.  The solver state
+    (learnt clauses, activities, saved phases) persists, so repeated
+    calls with different assumptions are cheap. *)
+val solve : ?assumptions:lit list -> t -> result
+
+(** [value t v] is the value of variable [v] in the model found by the
+    last [Sat] answer.  Unconstrained variables report their saved
+    phase (a valid completion).
+    @raise Invalid_argument if the last call did not return [Sat]. *)
+val value : t -> int -> bool
+
+(** Cumulative statistics over the solver's lifetime. *)
+
+val conflicts : t -> int
+
+val decisions : t -> int
+
+val propagations : t -> int

@@ -39,4 +39,6 @@ let () =
       Test_io.suite;
       Test_check.suite;
       Test_resilient.suite;
+      Test_sat.suite;
+      Test_dc.suite;
     ]

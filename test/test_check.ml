@@ -77,7 +77,9 @@ let test_diag_locations () =
   check "input" true (location_to_string (Input_var 3) = "x3");
   check "minterm" true
     (location_to_string (Minterm { output = 1; minterm = 5 }) = "y1/m5");
-  check "term" true (location_to_string (Term { line = 12 }) = "term:12");
+  check "term" true (location_to_string (Term { line = 12; col = 0 }) = "term:12");
+  check "term col" true
+    (location_to_string (Term { line = 12; col = 5 }) = "term:12:5");
   check "cube" true
     (location_to_string (Cube { output = 0; index = 4 }) = "y0/cube4");
   check "node" true (location_to_string (Node 7) = "node:7")
@@ -170,11 +172,13 @@ let test_pla_overlap_is_error () =
   check "on-off-overlap error" true (error_with "on-off-overlap" diags);
   check "overlap_errors finds it too" true
     (error_with "on-off-overlap" (Lint.overlap_errors pla));
-  check "located at y0/m3" true
+  (* the conflicting term is '1- 0' on line 5; its output char sits in
+     column 4 *)
+  check "located at term:5:4" true
     (List.exists
        (fun d ->
          d.Diag.code = "on-off-overlap"
-         && d.Diag.loc = Diag.Minterm { output = 0; minterm = 3 })
+         && d.Diag.loc = Diag.Term { line = 5; col = 4 })
        diags)
 
 let test_pla_contradictory_and_duplicate_terms () =

@@ -1,0 +1,265 @@
+(* Tests for the CDCL SAT core and the Tseitin circuit encoding:
+   hand-built instances, pigeonhole unsatisfiability, incremental
+   assumptions, and a QCheck differential of random 3-CNF against
+   brute-force enumeration. *)
+
+module Solver = Sat.Solver
+module Cnf = Sat.Cnf
+module Gate = Netlist.Gate
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let is_sat r = r = Solver.Sat
+
+let test_trivial () =
+  let s = Solver.create () in
+  check "empty db is sat" true (is_sat (Solver.solve s));
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos v ];
+  check "unit sat" true (is_sat (Solver.solve s));
+  check "model" true (Solver.value s v);
+  Solver.add_clause s [ Solver.neg v ];
+  check "contradictory units" false (is_sat (Solver.solve s))
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  check "empty clause" false (is_sat (Solver.solve s))
+
+let test_tautology_dropped () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos v; Solver.neg v ];
+  check "tautology kept sat" true (is_sat (Solver.solve s))
+
+let test_simple_implications () =
+  (* (a -> b), (b -> c), a  forces c. *)
+  let s = Solver.create () in
+  let a = Solver.new_var s
+  and b = Solver.new_var s
+  and c = Solver.new_var s in
+  Solver.add_clause s [ Solver.neg a; Solver.pos b ];
+  Solver.add_clause s [ Solver.neg b; Solver.pos c ];
+  Solver.add_clause s [ Solver.pos a ];
+  check "chain sat" true (is_sat (Solver.solve s));
+  check "a" true (Solver.value s a);
+  check "b" true (Solver.value s b);
+  check "c" true (Solver.value s c);
+  check "unsat under !c" false
+    (is_sat (Solver.solve ~assumptions:[ Solver.neg c ] s));
+  check "still sat after" true (is_sat (Solver.solve s))
+
+(* Pigeonhole PHP(n+1, n): n+1 pigeons in n holes, classically hard
+   for resolution at scale; tiny instances exercise conflict analysis
+   and backjumping thoroughly. *)
+let php holes =
+  let s = Solver.create () in
+  let pigeons = holes + 1 in
+  let v = Array.init pigeons (fun _ -> Array.init holes (fun _ -> 0)) in
+  for p = 0 to pigeons - 1 do
+    for h = 0 to holes - 1 do
+      v.(p).(h) <- Solver.new_var s
+    done
+  done;
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s
+      (List.init holes (fun h -> Solver.pos v.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for q = p + 1 to pigeons - 1 do
+        Solver.add_clause s [ Solver.neg v.(p).(h); Solver.neg v.(q).(h) ]
+      done
+    done
+  done;
+  s
+
+let test_pigeonhole () =
+  for holes = 2 to 5 do
+    check
+      (Printf.sprintf "php %d" holes)
+      false
+      (is_sat (Solver.solve (php holes)))
+  done;
+  let s = php 4 in
+  check "php 4 unsat" false (is_sat (Solver.solve s));
+  check "stats counted" true (Solver.conflicts s > 0);
+  check "decisions counted" true (Solver.decisions s > 0);
+  check "propagations counted" true (Solver.propagations s > 0)
+
+let test_assumption_sweep () =
+  (* xor chain x0 ^ x1 ^ x2 = 1 encoded as CNF; sweep all assumption
+     triples and compare with arithmetic. *)
+  let s = Solver.create () in
+  let x = Array.init 3 (fun _ -> Solver.new_var s) in
+  let b = Cnf.create s in
+  let y = Cnf.xor_ b (Cnf.xor_ b (Solver.pos x.(0)) (Solver.pos x.(1)))
+      (Solver.pos x.(2)) in
+  Solver.add_clause s [ y ];
+  for m = 0 to 7 do
+    let assumptions =
+      List.init 3 (fun i ->
+          if m land (1 lsl i) <> 0 then Solver.pos x.(i) else Solver.neg x.(i))
+    in
+    let parity = (m land 1) lxor ((m lsr 1) land 1) lxor ((m lsr 2) land 1) in
+    check
+      (Printf.sprintf "xor sweep m=%d" m)
+      (parity = 1)
+      (is_sat (Solver.solve ~assumptions s))
+  done
+
+let test_lit_packing () =
+  check_int "pos" 14 (Solver.pos 7);
+  check_int "neg" 15 (Solver.neg 7);
+  check_int "lnot pos" (Solver.neg 7) (Solver.lnot (Solver.pos 7));
+  check_int "var_of" 7 (Solver.var_of (Solver.neg 7));
+  check "is_neg" true (Solver.is_neg (Solver.neg 7));
+  check "is_pos" false (Solver.is_neg (Solver.pos 7))
+
+(* Encode every gate kind over fresh inputs and sweep all input
+   combinations via assumptions, comparing against Gate.eval. *)
+let test_gate_encoding () =
+  let cell =
+    Gate.Cell
+      {
+        cell_name = "maj3";
+        tt = Logic.Truth.of_fun 3 (fun m ->
+            let b i = (m lsr i) land 1 in
+            b 0 + b 1 + b 2 >= 2);
+        arity = 3;
+        area = 1.0;
+        delay = 1.0;
+        input_cap = 1.0;
+      }
+  in
+  let cases =
+    [
+      (Gate.Buf, 1); (Gate.Not, 1); (Gate.And, 3); (Gate.Or, 3);
+      (Gate.Nand, 2); (Gate.Nor, 2); (Gate.Xor, 3); (Gate.Xnor, 2);
+      (Gate.Const true, 0); (Gate.Const false, 0); (cell, 3);
+    ]
+  in
+  List.iter
+    (fun (g, n) ->
+      let s = Solver.create () in
+      let b = Cnf.create s in
+      let vars = Array.init n (fun _ -> Solver.new_var s) in
+      let y = Cnf.gate b g (Array.map Solver.pos vars) in
+      for m = 0 to (1 lsl n) - 1 do
+        let inputs = Array.init n (fun i -> m land (1 lsl i) <> 0) in
+        let expect = Gate.eval g inputs in
+        let assumptions =
+          List.init n (fun i ->
+              if inputs.(i) then Solver.pos vars.(i) else Solver.neg vars.(i))
+        in
+        check
+          (Printf.sprintf "%s m=%d out" (Gate.name g) m)
+          expect
+          (is_sat (Solver.solve ~assumptions:(y :: assumptions) s));
+        check
+          (Printf.sprintf "%s m=%d !out" (Gate.name g) m)
+          (not expect)
+          (is_sat
+             (Solver.solve ~assumptions:(Solver.lnot y :: assumptions) s))
+      done)
+    cases
+
+let test_gate_arity_checks () =
+  let s = Solver.create () in
+  let b = Cnf.create s in
+  let l = Cnf.fresh b in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check "input rejected" true
+    (raises (fun () -> Cnf.gate b (Gate.Input 0) [||]));
+  check "variadic needs 2" true
+    (raises (fun () -> Cnf.gate b Gate.And [| l |]));
+  check "not arity" true
+    (raises (fun () -> Cnf.gate b Gate.Not [| l; l |]))
+
+(* Brute-force CNF evaluation for the differential property. *)
+let brute_force nvars clauses =
+  let sat_under m =
+    List.for_all
+      (fun cl ->
+        List.exists
+          (fun l ->
+            let v = Solver.var_of l in
+            let bit = m land (1 lsl v) <> 0 in
+            if Solver.is_neg l then not bit else bit)
+          cl)
+      clauses
+  in
+  let rec scan m = m < 1 lsl nvars && (sat_under m || scan (m + 1)) in
+  scan 0
+
+let random_cnf_arb =
+  let gen st =
+    let nvars = 1 + QCheck.Gen.int_bound 7 st in
+    let nclauses = QCheck.Gen.int_bound 30 st in
+    let clause _ =
+      let len = 1 + QCheck.Gen.int_bound 2 st in
+      List.init len (fun _ ->
+          let v = QCheck.Gen.int_bound (nvars - 1) st in
+          if QCheck.Gen.bool st then Solver.pos v else Solver.neg v)
+    in
+    (nvars, List.init nclauses clause)
+  in
+  QCheck.make gen ~print:(fun (n, cls) ->
+      Printf.sprintf "nvars=%d clauses=[%s]" n
+        (String.concat "; "
+           (List.map
+              (fun cl ->
+                String.concat ","
+                  (List.map
+                     (fun l ->
+                       Printf.sprintf "%s%d"
+                         (if Solver.is_neg l then "-" else "")
+                         (Solver.var_of l))
+                     cl))
+              cls)))
+
+let prop_random_cnf =
+  QCheck.Test.make ~name:"solver agrees with enumeration on random 3-CNF"
+    ~count:300 random_cnf_arb (fun (nvars, clauses) ->
+      let s = Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (Solver.add_clause s) clauses;
+      is_sat (Solver.solve s) = brute_force nvars clauses)
+
+let prop_model_satisfies =
+  QCheck.Test.make ~name:"reported models satisfy every clause" ~count:300
+    random_cnf_arb (fun (nvars, clauses) ->
+      let s = Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (Solver.add_clause s) clauses;
+      match Solver.solve s with
+      | Solver.Unsat -> true
+      | Solver.Sat ->
+          List.for_all
+            (fun cl ->
+              List.exists
+                (fun l ->
+                  let v = Solver.value s (Solver.var_of l) in
+                  if Solver.is_neg l then not v else v)
+                cl)
+            clauses)
+
+let suite =
+  ( "sat",
+    [
+      Alcotest.test_case "trivial" `Quick test_trivial;
+      Alcotest.test_case "empty clause" `Quick test_empty_clause;
+      Alcotest.test_case "tautology" `Quick test_tautology_dropped;
+      Alcotest.test_case "implication chain" `Quick test_simple_implications;
+      Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+      Alcotest.test_case "assumption sweep" `Quick test_assumption_sweep;
+      Alcotest.test_case "literal packing" `Quick test_lit_packing;
+      Alcotest.test_case "gate encoding" `Quick test_gate_encoding;
+      Alcotest.test_case "gate arity checks" `Quick test_gate_arity_checks;
+      QCheck_alcotest.to_alcotest prop_random_cnf;
+      QCheck_alcotest.to_alcotest prop_model_satisfies;
+    ] )
