@@ -15,6 +15,7 @@
      dune exec bench/main.exe -- --full        # paper-scale sweeps
      dune exec bench/main.exe -- --jobs 4      # worker domains (also RDCA_JOBS)
      dune exec bench/main.exe -- --workers 2   # worker processes (sweep-distrib)
+     dune exec bench/main.exe -- --profile     # span timing on (also RDCA_PROF)
      dune exec bench/main.exe -- --json out.json
    Sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal
    check-ex1010 sweep-distrib backends dc-extract micro
@@ -31,6 +32,7 @@
 module E = Rdca_flow.Experiments
 module T = Rdca_flow.Tablefmt
 module J = Rdca_json.Jsonout
+module Profjson = Rdca_json.Profjson
 module Pool = Parallel.Pool
 module K = Bitvec.Bv.Kernel
 module Distrib = Rdca_flow.Distrib
@@ -91,11 +93,10 @@ let run_table1 ~full:_ () =
   }
 
 let run_fig2 ~full () =
-  (* The seed lives inside the section so the jobs=1 and jobs=N runs
-     start from the same stream. *)
-  let rng = Random.State.make [| 2011 |] in
+  (* Per-task splittable streams are keyed off this seed, so every
+     engine/job-count leg reproduces the same functions. *)
   let per_target = if full then 10 else 3 in
-  let rows = E.fig2 ~per_target ~rng () in
+  let rows = E.fig2 ~per_target ~seed:2011 () in
   {
     tables =
       [
@@ -215,9 +216,8 @@ let run_fig5 ~full () =
   }
 
 let run_fig6 ~full () =
-  let rng = Random.State.make [| 66 |] in
   let funcs = if full then 10 else 2 in
-  let families = E.fig6 ~funcs_per_family:funcs ~rng () in
+  let families = E.fig6 ~funcs_per_family:funcs ~seed:66 () in
   {
     tables =
       [
@@ -557,6 +557,8 @@ let run_micro ~full:_ () =
                Bdd.of_cover man cover));
         Test.make ~name:"cut enumeration (ex1010 aig)"
           (Staged.stage (fun () -> Aig.Cut.enumerate aig ~k:4 ~max_cuts:8));
+        Test.make ~name:"cut enumeration memoised (ex1010 aig)"
+          (Staged.stage (fun () -> Aig.Cut.enumerate_memo aig ~k:4 ~max_cuts:8));
         Test.make ~name:"techmap delay (ex1010 aig)"
           (Staged.stage (fun () ->
                Techmap.Mapper.map ~mode:Techmap.Mapper.Delay ~lib aig));
@@ -918,33 +920,37 @@ let print_outcome o =
     o.tables
 
 let exec_section ~jobs ~full s =
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (Unix.gettimeofday () -. t0, r)
-  in
+  (* Each leg also diffs the profiling instruments around itself, so
+     the schema-v4 JSON can attribute that leg's wall clock to named
+     spans (empty unless --profile / RDCA_PROF; the always-on event
+     counters appear regardless). *)
   let run ~kernel ~jobs:j =
-    time (fun () -> Pool.with_jobs j (fun () -> K.with_mode kernel (s.build ~full)))
+    let before = Prof.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let r = Pool.with_jobs j (fun () -> K.with_mode kernel (s.build ~full)) in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, Prof.diff ~before ~after:(Prof.snapshot ()), r)
   in
+  let pool_before = Pool.stats () in
   (* Leg 1: scalar oracle (timing-noise sections skip it). *)
   let ts, os =
     if s.dual then
-      let ts, os = run ~kernel:false ~jobs:1 in
+      let ts, _, os = run ~kernel:false ~jobs:1 in
       (ts, Some os)
     else (0.0, None)
   in
   (* Leg 2: word-parallel kernel, single-threaded. *)
-  let t1, o1 = run ~kernel:true ~jobs:1 in
+  let t1, d1, o1 = run ~kernel:true ~jobs:1 in
   let identical_engine =
     match os with Some os -> signature os = signature o1 | None -> true
   in
   (* Leg 3: kernel at N worker domains. *)
-  let tn, on, identical_jobs =
+  let tn, dn, on, identical_jobs =
     if s.dual && jobs > 1 then begin
-      let tn, on = run ~kernel:true ~jobs in
-      (tn, on, signature o1 = signature on)
+      let tn, dn, on = run ~kernel:true ~jobs in
+      (tn, dn, on, signature o1 = signature on)
     end
-    else (t1, o1, true)
+    else (t1, d1, o1, true)
   in
   print_outcome on;
   let speedup_kernel = if s.dual && t1 > 0.0 then ts /. t1 else 1.0 in
@@ -961,25 +967,37 @@ let exec_section ~jobs ~full s =
   else Printf.printf "[%s finished in %.2fs]\n%!" s.sec_name t1;
   if not identical_engine then mismatches := (s.sec_name ^ " [engine]") :: !mismatches;
   if not identical_jobs then mismatches := (s.sec_name ^ " [jobs]") :: !mismatches;
+  let profile_fields =
+    if not (Prof.enabled ()) then []
+    else
+      ("profile_jobs1", Profjson.profile ~wall:t1 d1)
+      ::
+      (if s.dual && jobs > 1 then
+         [ ("profile_jobsN", Profjson.profile ~wall:tn dn) ]
+       else [])
+  in
   J.Obj
-    [
-      ("name", J.String s.sec_name);
-      ("seconds_scalar", J.Float ts);
-      ("seconds_jobs1", J.Float t1);
-      ("seconds_jobsN", J.Float tn);
-      ("speedup_kernel", J.Float speedup_kernel);
-      ("speedup", J.Float speedup_jobs);
-      ("scalar_run", J.Bool s.dual);
-      ("dual_run", J.Bool (s.dual && jobs > 1));
-      ("identical_engine", J.Bool identical_engine);
-      ("identical", J.Bool identical_jobs);
-      ( "scalars",
-        J.Obj (List.map (fun (k, v) -> (k, J.Float v)) on.scalars) );
-    ]
+    ([
+       ("name", J.String s.sec_name);
+       ("seconds_scalar", J.Float ts);
+       ("seconds_jobs1", J.Float t1);
+       ("seconds_jobsN", J.Float tn);
+       ("speedup_kernel", J.Float speedup_kernel);
+       ("speedup", J.Float speedup_jobs);
+       ("scalar_run", J.Bool s.dual);
+       ("dual_run", J.Bool (s.dual && jobs > 1));
+       ("identical_engine", J.Bool identical_engine);
+       ("identical", J.Bool identical_jobs);
+       ("pool", Profjson.pool_delta ~before:pool_before ~after:(Pool.stats ()));
+     ]
+    @ profile_fields
+    @ [ ("scalars", J.Obj (List.map (fun (k, v) -> (k, J.Float v)) on.scalars)) ]
+    )
 
 let usage () =
   prerr_endline
-    "usage: bench [--full] [--jobs N] [--workers N] [--json FILE] [SECTION...]\n\
+    "usage: bench [--full] [--jobs N] [--workers N] [--profile] [--json FILE] \
+     [SECTION...]\n\
      sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal \
      check-ex1010 sweep-distrib micro";
   exit 2
@@ -1020,6 +1038,9 @@ let () =
     | "--json" :: path :: rest ->
         json_path := path;
         parse rest
+    | "--profile" :: rest ->
+        Prof.set_enabled true;
+        parse rest
     | ("--help" | "-h") :: _ | ("--jobs" | "--workers" | "--json") :: [] ->
         usage ()
     | s :: rest when List.exists (fun x -> x.sec_name = s) sections ->
@@ -1045,10 +1066,15 @@ let () =
     J.write_file !json_path
       (J.Obj
          [
-           ("schema_version", J.Int 3);
+           ("schema_version", J.Int 4);
            ("jobs", J.Int !jobs);
+           ("cores_detected", J.Int (Domain.recommended_domain_count ()));
+           ("profile", J.Bool (Prof.enabled ()));
            ("full", J.Bool !full);
            ("interrupted", J.Bool interrupted);
+           ( "warm_cache_calls",
+             J.Int (Prof.value (Prof.counter "spec.warm_calls")) );
+           ("pool", Profjson.pool_totals (Pool.stats ()));
            ("sections", J.List (List.rev !entries));
            ("total_seconds", J.Float total);
          ])

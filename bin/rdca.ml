@@ -1122,9 +1122,11 @@ let bench_cmd =
   let module Pool = Parallel.Pool in
   let module E = Rdca_flow.Experiments in
   let module J = Rdca_json.Jsonout in
+  let module Profjson = Rdca_json.Profjson in
   let module K = Bitvec.Bv.Kernel in
-  let run jobs json_path =
+  let run jobs profile json_path =
     with_jobs_opt jobs @@ fun () ->
+    if profile then Prof.set_enabled true;
     Interrupt.install ();
     let n_jobs = Pool.default_jobs () in
     let time f =
@@ -1140,25 +1142,37 @@ let bench_cmd =
       J.write_file json_path
         (J.Obj
            [
-             ("schema_version", J.Int 3);
+             ("schema_version", J.Int 4);
              ("jobs", J.Int n_jobs);
+             ("cores_detected", J.Int (Domain.recommended_domain_count ()));
+             ("profile", J.Bool (Prof.enabled ()));
              ("full", J.Bool false);
              ("interrupted", J.Bool interrupted);
+             ( "warm_cache_calls",
+               J.Int (Prof.value (Prof.counter "spec.warm_calls")) );
+             ("pool", Profjson.pool_totals (Pool.stats ()));
              ("sections", J.List (List.rev !entries));
              ("total_seconds", J.Float (Unix.gettimeofday () -. t_start));
            ])
     in
     let unhook = Interrupt.on_interrupt (fun () -> write_json ~interrupted:true) in
     let mismatches = ref [] in
-    (* Triple-run a section body and render its JSON entry. *)
+    (* Triple-run a section body and render its JSON entry (each leg
+       diffs the profiling instruments around itself; span timings are
+       empty unless --profile / RDCA_PROF). *)
     let triple ~name ~scalars work =
       let leg ~kernel ~jobs:j =
-        time (fun () -> Pool.with_jobs j (fun () -> K.with_mode kernel work))
+        let before = Prof.snapshot () in
+        let t, r =
+          time (fun () -> Pool.with_jobs j (fun () -> K.with_mode kernel work))
+        in
+        (t, Prof.diff ~before ~after:(Prof.snapshot ()), r)
       in
-      let ts, rs = leg ~kernel:false ~jobs:1 in
-      let t1, r1 = leg ~kernel:true ~jobs:1 in
-      let tn, rn =
-        if n_jobs > 1 then leg ~kernel:true ~jobs:n_jobs else (t1, r1)
+      let pool_before = Pool.stats () in
+      let ts, _, rs = leg ~kernel:false ~jobs:1 in
+      let t1, d1, r1 = leg ~kernel:true ~jobs:1 in
+      let tn, dn, rn =
+        if n_jobs > 1 then leg ~kernel:true ~jobs:n_jobs else (t1, d1, r1)
       in
       let identical_engine = rs = r1 and identical_jobs = r1 = rn in
       if not identical_engine then
@@ -1170,21 +1184,34 @@ let bench_cmd =
         "%s: scalar %.2fs, kernel %.2fs (speedup %.2fx), %.2fs at %d jobs \
          (speedup %.2fx)@."
         name ts t1 speedup_kernel tn n_jobs speedup_jobs;
+      let profile_fields =
+        if not (Prof.enabled ()) then []
+        else
+          ("profile_jobs1", Profjson.profile ~wall:t1 d1)
+          ::
+          (if n_jobs > 1 then
+             [ ("profile_jobsN", Profjson.profile ~wall:tn dn) ]
+           else [])
+      in
       let entry =
         J.Obj
-          [
-            ("name", J.String name);
-            ("seconds_scalar", J.Float ts);
-            ("seconds_jobs1", J.Float t1);
-            ("seconds_jobsN", J.Float tn);
-            ("speedup_kernel", J.Float speedup_kernel);
-            ("speedup", J.Float speedup_jobs);
-            ("scalar_run", J.Bool true);
-            ("dual_run", J.Bool (n_jobs > 1));
-            ("identical_engine", J.Bool identical_engine);
-            ("identical", J.Bool identical_jobs);
-            ("scalars", J.Obj (scalars rn));
-          ]
+          ([
+             ("name", J.String name);
+             ("seconds_scalar", J.Float ts);
+             ("seconds_jobs1", J.Float t1);
+             ("seconds_jobsN", J.Float tn);
+             ("speedup_kernel", J.Float speedup_kernel);
+             ("speedup", J.Float speedup_jobs);
+             ("scalar_run", J.Bool true);
+             ("dual_run", J.Bool (n_jobs > 1));
+             ("identical_engine", J.Bool identical_engine);
+             ("identical", J.Bool identical_jobs);
+             ( "pool",
+               Profjson.pool_delta ~before:pool_before ~after:(Pool.stats ())
+             );
+           ]
+          @ profile_fields
+          @ [ ("scalars", J.Obj (scalars rn)) ])
       in
       (entry, ts +. t1 +. tn, rn)
     in
@@ -1249,8 +1276,16 @@ let bench_cmd =
       & opt string "BENCH_results.json"
       & info [ "json" ] ~docv:"FILE" ~doc)
   in
+  let profile_arg =
+    let doc =
+      "Enable the profiling spans and embed per-section span/counter \
+       breakdowns in the JSON (same switch as the RDCA_PROF environment \
+       variable)."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
   let doc = "Parallel-determinism smoke benchmark (JSON output, for CI)" in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ jobs_arg $ json_path)
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ jobs_arg $ profile_arg $ json_path)
 
 let main =
   let doc = "Reliability-driven don't care assignment for logic synthesis" in

@@ -99,6 +99,61 @@ let enumerate t ~k ~max_cuts =
       cuts.(id) <- take 0 sorted @ [ trivial id ]);
   cuts
 
+(* Memoised enumeration.  The technology mapper re-enumerates cuts of
+   the same AIG on every call (the sweep sections map each benchmark
+   under two or three modes), so cache the result under the AIG's full
+   structural key — input count, node count, parameters, and every
+   AND's fanin literals — which makes a false hit impossible.  Cached
+   arrays are shared between callers and must be treated as
+   read-only; the mapper only reads them. *)
+let c_hits = Prof.counter "cut.memo_hits"
+let c_misses = Prof.counter "cut.memo_misses"
+let sp_enum = Prof.span "cut.enumerate"
+let memo : (int array, cut list array) Hashtbl.t = Hashtbl.create 16
+let memo_lock = Mutex.create ()
+let memo_cap = 64
+
+let structural_key t ~k ~max_cuts =
+  let key = Array.make (4 + (2 * Aig_core.num_ands t)) 0 in
+  key.(0) <- Aig_core.ni t;
+  key.(1) <- Aig_core.num_nodes t;
+  key.(2) <- k;
+  key.(3) <- max_cuts;
+  let pos = ref 4 in
+  let enc l =
+    (2 * Aig_core.node_of l) + if Aig_core.is_complemented l then 1 else 0
+  in
+  Aig_core.iter_ands t (fun _ a b ->
+      key.(!pos) <- enc a;
+      key.(!pos + 1) <- enc b;
+      pos := !pos + 2);
+  key
+
+let enumerate_memo t ~k ~max_cuts =
+  let key = structural_key t ~k ~max_cuts in
+  Mutex.lock memo_lock;
+  let cached = Hashtbl.find_opt memo key in
+  Mutex.unlock memo_lock;
+  match cached with
+  | Some cuts ->
+      Prof.incr c_hits;
+      cuts
+  | None ->
+      Prof.incr c_misses;
+      (* Enumerate outside the lock: concurrent misses on the same AIG
+         duplicate the work once rather than serialising all callers. *)
+      let cuts = Prof.time sp_enum (fun () -> enumerate t ~k ~max_cuts) in
+      Mutex.lock memo_lock;
+      if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+      if not (Hashtbl.mem memo key) then Hashtbl.add memo key cuts;
+      Mutex.unlock memo_lock;
+      cuts
+
+let clear_memo () =
+  Mutex.lock memo_lock;
+  Hashtbl.reset memo;
+  Mutex.unlock memo_lock
+
 let consistent_on t ~node cut ~minterm =
   let values = Aig_core.eval_minterm_values t minterm in
   let idx = ref 0 in

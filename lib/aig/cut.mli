@@ -17,6 +17,20 @@ type cut = {
     @raise Invalid_argument if [k < 2 || k > 4]. *)
 val enumerate : Aig_core.t -> k:int -> max_cuts:int -> cut list array
 
+(** [enumerate_memo] is {!enumerate} memoised on the AIG's full
+    structural key (inputs, node count, every AND's fanin literals)
+    plus [(k, max_cuts)], so repeated mapping of the same network —
+    e.g. the delay/area/power modes of one sweep cell — enumerates
+    once.  A false hit is impossible: equal keys mean structurally
+    identical AIGs.  The returned array is shared with other callers
+    and must be treated as read-only.  Thread-safe; bounded (the
+    table resets after 64 distinct networks). *)
+val enumerate_memo : Aig_core.t -> k:int -> max_cuts:int -> cut list array
+
+(** Drop every memoised enumeration (for tests and benchmarks that
+    want to measure the cold path). *)
+val clear_memo : unit -> unit
+
 (** [consistent_on t ~node cut ~minterm] checks the property mapping
     relies on: on the leaf values produced by input [minterm], the cut
     function evaluates to the node's value.  (On *inconsistent* leaf

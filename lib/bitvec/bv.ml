@@ -400,6 +400,121 @@ module Kernel = struct
       if !carry <> 0 then invalid_arg "Bv.Kernel.counter_add: overflow"
     done
 
+  (* ---------------------------------------------------------------- *)
+  (* Cache-blocked neighbour sweep.                                    *)
+
+  type sweep_op = {
+    sw_src : t;
+    sw_diff : bool;
+    sw_counter : counter option;
+    sw_cross : t option;
+  }
+
+  (* 256 words = 2 KiB per operand plane: a handful of planes (sources,
+     counters, masks, cross sets) stay L1/L2-resident per tile. *)
+  let default_tile = 256
+
+  (* One fused pass instead of [nj * ops] full-vector traversals: for
+     each tile of words, for each flip bit [j], the neighbour (or
+     neighbour-difference) words of every operand are computed on the
+     fly — the e/d funnel-shift algebra is exactly the one in
+     [neighbor_diff], evaluated per word — and consumed immediately by
+     the popcount accumulator and/or the ripple-carry counter column.
+     No intermediate 2^n-bit vector is ever materialised, and each
+     plane's tile slice is touched once per [j] while hot in cache.
+     Per word-column the counter additions happen in the same j-
+     ascending order as the word-at-a-time kernels, so results (and
+     overflow behaviour) are bit-identical. *)
+  let neighbour_sweep ?(tile = default_tile) ~nj ops =
+    if tile < 1 then invalid_arg "Bv.Kernel.neighbour_sweep: tile must be >= 1";
+    let nops = Array.length ops in
+    let accs = Array.make nops 0 in
+    if nops > 0 && nj > 0 then begin
+      let src0 = ops.(0).sw_src in
+      let len = src0.len in
+      Array.iter
+        (fun op ->
+          if op.sw_src.len <> len then
+            invalid_arg "Bv.Kernel.neighbour_sweep: length mismatch";
+          (match op.sw_counter with
+          | Some c when c.c_len <> len ->
+              invalid_arg "Bv.Kernel.neighbour_sweep: counter length mismatch"
+          | _ -> ());
+          match op.sw_cross with
+          | Some x when x.len <> len ->
+              invalid_arg "Bv.Kernel.neighbour_sweep: cross length mismatch"
+          | _ -> ())
+        ops;
+      for j = 0 to nj - 1 do
+        check_neighbor "Bv.Kernel.neighbour_sweep" ~j src0
+      done;
+      let masks = Array.init nj (fun j -> (index_mask ~len ~j).words) in
+      let w = Array.length src0.words in
+      let lm = last_mask src0 in
+      let lo = ref 0 in
+      while !lo < w do
+        let hi = min w (!lo + tile) in
+        for j = 0 to nj - 1 do
+          let s = 1 lsl j in
+          let ws = s / bits_per_word and bs = s mod bits_per_word in
+          let mask = masks.(j) in
+          for oi = 0 to nops - 1 do
+            let op = Array.unsafe_get ops oi in
+            let tw = op.sw_src.words in
+            let e_at x =
+              if x < 0 then 0
+              else
+                let sh =
+                  if x + ws >= w then 0
+                  else
+                    let l = Array.unsafe_get tw (x + ws) lsr bs in
+                    if bs = 0 || x + ws + 1 >= w then l
+                    else
+                      l
+                      lor (Array.unsafe_get tw (x + ws + 1)
+                          lsl (bits_per_word - bs))
+                in
+                (sh lxor Array.unsafe_get tw x) land Array.unsafe_get mask x
+            in
+            for i = !lo to hi - 1 do
+              let sh =
+                if i - ws < 0 then 0
+                else
+                  let l = e_at (i - ws) lsl bs in
+                  if bs = 0 || i - ws - 1 < 0 then l
+                  else l lor (e_at (i - ws - 1) lsr (bits_per_word - bs))
+              in
+              let d = e_at i lor sh in
+              let d = if i = w - 1 then d land lm else d in
+              let v = if op.sw_diff then d else d lxor Array.unsafe_get tw i in
+              (match op.sw_cross with
+              | Some x ->
+                  Array.unsafe_set accs oi
+                    (Array.unsafe_get accs oi
+                    + popcount_word (v land Array.unsafe_get x.words i))
+              | None -> ());
+              match op.sw_counter with
+              | Some c ->
+                  let bits = Array.length c.planes in
+                  let carry = ref v and k = ref 0 in
+                  while !carry <> 0 do
+                    if !k >= bits then
+                      invalid_arg "Bv.Kernel.counter_add_bit: overflow";
+                    let p = (Array.unsafe_get c.planes !k).words in
+                    let pv = Array.unsafe_get p i in
+                    Array.unsafe_set p i (pv lxor !carry);
+                    carry := pv land !carry;
+                    incr k
+                  done
+              | None -> ()
+            done
+          done
+        done;
+        lo := hi
+      done
+    end;
+    accs
+
   let counter_neighbor ~j c =
     { c_len = c.c_len; planes = Array.map (fun p -> neighbor ~j p) c.planes }
 

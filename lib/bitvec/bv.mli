@@ -180,4 +180,37 @@ module Kernel : sig
   (** [counter_abs_diff a b] is [(|a - b|, sign)] index-wise, where
       [sign] has bit [m] set iff [b.(m) > a.(m)].  Widths must match. *)
   val counter_abs_diff : counter -> counter -> counter * t
+
+  (** {1 Cache-blocked neighbour sweep}
+
+      The fused form of the [for j] loops the reliability kernels all
+      share: for every flip bit [j < nj] and every operand, compute
+      the neighbour plane [N_j(src) = m -> src.(m lxor 2^j)] (or the
+      difference plane [D_j(src) = src xor N_j(src)] when [sw_diff])
+      and consume it immediately — accumulating
+      [popcount (plane land sw_cross)] and/or adding the plane into
+      the bit-sliced [sw_counter].  The work is tiled: each block of
+      [tile] words of all operand planes is processed across all [j]
+      and all operands before advancing, so every plane slice is
+      touched while cache-hot and no intermediate 2^n-bit vector is
+      allocated.  Results are bit-identical to composing {!neighbor} /
+      {!neighbor_diff} with {!popcount_and} / {!counter_add_bit}
+      (per word-column the counter additions run in the same
+      j-ascending order, so overflow behaviour matches too). *)
+
+  type sweep_op = {
+    sw_src : t;  (** plane whose neighbours are taken *)
+    sw_diff : bool;  (** consume [D_j(src)] instead of [N_j(src)] *)
+    sw_counter : counter option;  (** add each j-plane into this *)
+    sw_cross : t option;  (** accumulate [popcount (plane land cross)] *)
+  }
+
+  val default_tile : int
+
+  (** [neighbour_sweep ~nj ops] returns the per-op popcount
+      accumulators (0 where [sw_cross] is [None]).  All operands must
+      share one length, a multiple of [2^nj].
+      @raise Invalid_argument on length mismatch or counter
+      overflow. *)
+  val neighbour_sweep : ?tile:int -> nj:int -> sweep_op array -> int array
 end

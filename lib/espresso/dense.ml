@@ -186,9 +186,12 @@ let cost ~n cubes =
   ( List.length cubes,
     List.fold_left (fun acc c -> acc + (n - Cube.free_count ~n c)) 0 cubes )
 
+let sp_minimize = Prof.span "espresso.minimize"
+
 (* [minimize ~n ~on ~dc] returns a minimised cover of the on-set that
    may dip into [dc] and never touches the off-set. *)
 let minimize ~n ~on ~dc =
+  Prof.time sp_minimize @@ fun () ->
   let space = 1 lsl n in
   if Bv.length on <> space || Bv.length dc <> space then
     invalid_arg "Dense.minimize: bit-vector length mismatch";

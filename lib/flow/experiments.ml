@@ -43,34 +43,36 @@ type fig2_point = { f2_target : float; f2_measured_cf : float; f2_sop : int }
 let default_fig2_targets =
   [ 0.05; 0.15; 0.25; 0.35; 0.45; 0.55; 0.65; 0.75; 0.85; 0.95 ]
 
-let fig2 ?(targets = default_fig2_targets) ?(per_target = 3) ~rng () =
-  (* Generation consumes [rng] sequentially in the original order;
-     only the pure minimise-and-measure step fans out, so results are
-     independent of the job count (and identical to the sequential
-     code). *)
-  let tasks =
-    List.concat_map
-      (fun target ->
-        List.init per_target (fun _ ->
-            let params =
-              Synthetic.Synth_gen.default_params ~ni:10 ~dc_frac:0.0
-                ~target_cf:(Some target)
-            in
-            (target, Synthetic.Synth_gen.output ~rng params)))
-      targets
+let fig2 ?(targets = default_fig2_targets) ?(per_target = 3) ~seed () =
+  (* Each task derives its own splittable stream from (seed, task
+     index) and generates its spec *inside* the parallel region, so
+     there is no sequential pre-generation pass and the results are
+     identical at every job count by construction. *)
+  let targets = Array.of_list targets in
+  let n = Array.length targets * per_target in
+  let points =
+    Parallel.Pool.init ~chunk:1 n (fun i ->
+        let target = targets.(i / per_target) in
+        let rng =
+          Synthetic.Splittable.to_random_state
+            (Synthetic.Splittable.stream ~seed ~index:i)
+        in
+        let params =
+          Synthetic.Synth_gen.default_params ~ni:10 ~dc_frac:0.0
+            ~target_cf:(Some target)
+        in
+        let s = Synthetic.Synth_gen.output ~rng params in
+        let cover =
+          Espresso.Dense.minimize ~n:10 ~on:(Spec.on_bv s ~o:0)
+            ~dc:(Spec.dc_bv s ~o:0)
+        in
+        {
+          f2_target = target;
+          f2_measured_cf = Borders.complexity_factor s ~o:0;
+          f2_sop = Twolevel.Cover.size cover;
+        })
   in
-  Parallel.Pool.map_list ~chunk:1
-    (fun (target, s) ->
-      let cover =
-        Espresso.Dense.minimize ~n:10 ~on:(Spec.on_bv s ~o:0)
-          ~dc:(Spec.dc_bv s ~o:0)
-      in
-      {
-        f2_target = target;
-        f2_measured_cf = Borders.complexity_factor s ~o:0;
-        f2_sop = Twolevel.Cover.size cover;
-      })
-    tasks
+  Array.to_list points
 
 (* ------------------------------------------------------------------ *)
 (* Figures 4 and 5: the ranking-fraction sweep                          *)
@@ -96,15 +98,29 @@ let suite_specs ?names () =
   | Some names ->
       List.filter (fun (e, _) -> List.mem e.Suite.name names) all
 
+(* The four stages of a sweep cell as disjoint profiling spans: their
+   sum accounts for (essentially all of) a cell's wall time, which is
+   what the bench harness uses to attribute the fig4/fig5 sections. *)
+let sp_assign = Prof.span "sweep.assign"
+let sp_implement = Prof.span "sweep.implement"
+let sp_error = Prof.span "sweep.error"
+let sp_build = Prof.span "sweep.build"
+
 (* One sweep cell is a pure function of (spec, fraction): the unit of
    work for both the in-process fan-out below and the multi-process
    distribution layer (Distrib). *)
 let sweep_cell_of_spec spec fraction =
   let lib = Techmap.Stdcell.default_library () in
-  let partial = Flow.apply_strategy (Flow.Ranking fraction) spec in
-  let full, covers = Flow.implement partial in
-  let error = Flow.measured_error ~original:spec full in
+  let partial =
+    Prof.time sp_assign (fun () ->
+        Flow.apply_strategy (Flow.Ranking fraction) spec)
+  in
+  let full, covers = Prof.time sp_implement (fun () -> Flow.implement partial) in
+  let error =
+    Prof.time sp_error (fun () -> Flow.measured_error ~original:spec full)
+  in
   let build mode =
+    Prof.time sp_build @@ fun () ->
     let aig = Aig.of_covers ~ni:(Spec.ni spec) covers in
     let aig = Aig.Opt.balance aig in
     Report.of_netlist (Mapper.map ~mode ~lib aig)
@@ -120,6 +136,10 @@ let sweep_cell_by_name ~name ~fraction =
 
 let sweep ?(fractions = default_fractions) ?names () =
   let specs = Array.of_list (suite_specs ?names ()) in
+  (* The cells of one benchmark share its spec: publish every phase
+     plane before the fan-out so the parallel region reads a warm,
+     read-only cache instead of racing on first-use rebuilds. *)
+  Array.iter (fun (_, spec) -> Spec.warm_cache spec) specs;
   let nfr = Array.length fractions in
   (* Flatten to (benchmark, fraction) cells: a finer grain than
      per-benchmark fan-out, so a single slow benchmark doesn't leave
@@ -211,28 +231,28 @@ type fig6_point = { f6_fraction : float; f6_area : float; f6_error : float }
 type fig6_family = { f6_cf : float; f6_points : fig6_point list }
 
 let fig6 ?(families = [ 0.5; 0.6; 0.7; 0.8; 0.9 ]) ?(funcs_per_family = 2)
-    ?(fractions = [ 0.0; 0.25; 0.5; 0.75; 1.0 ]) ?(ni = 11) ?(no = 11) ~rng ()
+    ?(fractions = [ 0.0; 0.25; 0.5; 0.75; 1.0 ]) ?(ni = 11) ?(no = 11) ~seed ()
     =
   let lib = Techmap.Stdcell.default_library () in
-  (* Specs are generated family-by-family with the shared [rng] before
-     any parallel work starts, so the random stream is consumed in the
-     same order as the sequential code and results match it exactly.
-     The per-function trajectories (the expensive part) then fan out
-     across all families at once. *)
-  let all_specs =
-    List.concat_map
-      (fun cf ->
-        List.init funcs_per_family (fun _ ->
-            let params =
-              Synthetic.Synth_gen.default_params ~ni ~dc_frac:0.6
-                ~target_cf:(Some cf)
-            in
-            Synthetic.Synth_gen.spec ~rng ~no params))
-      families
-  in
+  (* Each per-function trajectory task generates its own spec from the
+     splittable stream keyed by (seed, function index), inside the
+     parallel region — no sequential pre-generation, and the family
+     layout (function i belongs to family i / funcs_per_family) is
+     fixed up front, so results are identical at every job count. *)
+  let fams = Array.of_list families in
+  let nfuncs = Array.length fams * funcs_per_family in
   (* Per function, per fraction: (area, error); normalise per
      function by its own fraction-0 corner; average at the end. *)
-  let traj_of_spec spec =
+  let traj_of_func i =
+    let cf = fams.(i / funcs_per_family) in
+    let rng =
+      Synthetic.Splittable.to_random_state
+        (Synthetic.Splittable.stream ~seed ~index:i)
+    in
+    let params =
+      Synthetic.Synth_gen.default_params ~ni ~dc_frac:0.6 ~target_cf:(Some cf)
+    in
+    let spec = Synthetic.Synth_gen.spec ~rng ~no params in
     List.map
       (fun fraction ->
         let partial = Flow.apply_strategy (Flow.Ranking fraction) spec in
@@ -244,9 +264,7 @@ let fig6 ?(families = [ 0.5; 0.6; 0.7; 0.8; 0.9 ]) ?(funcs_per_family = 2)
         (rep.Report.area, error))
       fractions
   in
-  let all_trajs =
-    Array.of_list (Parallel.Pool.map_list ~chunk:1 traj_of_spec all_specs)
-  in
+  let all_trajs = Parallel.Pool.init ~chunk:1 nfuncs traj_of_func in
   List.mapi
     (fun fi cf ->
       let trajs =

@@ -28,9 +28,12 @@ type fig2_point = {
 }
 
 (** Ten-input single-output fully specified functions across the
-    complexity range, minimised by the espresso substrate. *)
+    complexity range, minimised by the espresso substrate.  Task [i]
+    generates its function from the splittable stream keyed by
+    [(seed, i)] {e inside} the parallel region, so the output is a
+    pure function of [seed] at every job count. *)
 val fig2 :
-  ?targets:float list -> ?per_target:int -> rng:Random.State.t -> unit ->
+  ?targets:float list -> ?per_target:int -> seed:int -> unit ->
   fig2_point list
 
 (** {1 The ranking-fraction sweep behind Figures 4 and 5} *)
@@ -92,14 +95,17 @@ type fig6_family = { f6_cf : float; f6_points : fig6_point list }
 
 (** Synthetic 11-input/11-output functions, 60% DC, one trajectory per
     complexity-factor family (normalised to the fraction-0 corner,
-    averaged over [funcs_per_family] functions). *)
+    averaged over [funcs_per_family] functions).  Function [i] is
+    generated from the splittable stream keyed by [(seed, i)] inside
+    its own parallel task, so the output is a pure function of [seed]
+    at every job count. *)
 val fig6 :
   ?families:float list ->
   ?funcs_per_family:int ->
   ?fractions:float list ->
   ?ni:int ->
   ?no:int ->
-  rng:Random.State.t ->
+  seed:int ->
   unit ->
   fig6_family list
 

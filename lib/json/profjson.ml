@@ -1,0 +1,53 @@
+module J = Jsonout
+module Pool = Parallel.Pool
+
+let attribution_roots =
+  [ "sweep.assign"; "sweep.implement"; "sweep.error"; "sweep.build" ]
+
+let profile ~wall (d : Prof.snapshot) =
+  let attributed =
+    List.fold_left
+      (fun acc (name, s, _) ->
+        if List.mem name attribution_roots then acc +. s else acc)
+      0.0 d.Prof.spans
+  in
+  J.Obj
+    [
+      ("attributed_seconds", J.Float attributed);
+      ( "attributed_fraction",
+        J.Float (if wall > 0.0 then attributed /. wall else 0.0) );
+      ( "spans",
+        J.Obj
+          (List.map
+             (fun (name, s, calls) ->
+               (name, J.Obj [ ("seconds", J.Float s); ("calls", J.Int calls) ]))
+             d.Prof.spans) );
+      ( "counters",
+        J.Obj (List.map (fun (n, v) -> (n, J.Int v)) d.Prof.counters) );
+    ]
+
+let pool_delta ~(before : Pool.stats) ~(after : Pool.stats) =
+  J.Obj
+    [
+      ("batches", J.Int (after.Pool.batches - before.Pool.batches));
+      ("tiny_skips", J.Int (after.Pool.tiny_skips - before.Pool.tiny_skips));
+      ("sequential", J.Int (after.Pool.sequential - before.Pool.sequential));
+      ("probe_items", J.Int (after.Pool.probe_items - before.Pool.probe_items));
+      ("last_chunk", J.Int after.Pool.last_chunk);
+      ("min_chunk_seen", J.Int after.Pool.min_chunk_seen);
+      ("max_chunk_seen", J.Int after.Pool.max_chunk_seen);
+    ]
+
+let pool_totals (s : Pool.stats) =
+  J.Obj
+    [
+      ("batches", J.Int s.Pool.batches);
+      ("tiny_skips", J.Int s.Pool.tiny_skips);
+      ("sequential", J.Int s.Pool.sequential);
+      ("probe_items", J.Int s.Pool.probe_items);
+      ("domains_spawned", J.Int s.Pool.domains_spawned);
+      ("pool_instantiated", J.Bool s.Pool.pool_instantiated);
+      ("last_chunk", J.Int s.Pool.last_chunk);
+      ("min_chunk_seen", J.Int s.Pool.min_chunk_seen);
+      ("max_chunk_seen", J.Int s.Pool.max_chunk_seen);
+    ]

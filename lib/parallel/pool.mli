@@ -1,15 +1,19 @@
-(** A small dependency-free work pool over [Domain] / [Mutex] /
-    [Condition].
+(** A small work pool over [Domain] / [Mutex] / [Condition] with a
+    lock-free dispatch core.
 
     The pool executes {e chunked} parallel regions: a region is split
     into chunks with a fixed chunk -> index-range mapping, idle worker
-    domains (plus the submitting domain) claim chunks dynamically, and
-    every result is written to the slot of its own index.  Which
-    domain runs which chunk therefore never affects {e what} is
-    computed, only {e when} — callers that are pure per index get
-    bit-identical results at every job count.  Reductions (sums,
-    folds) are deliberately left to the caller so they can be done
-    sequentially in index order.
+    domains (plus the submitting domain) claim chunk indices with an
+    atomic counter and run them without any lock, and every result is
+    written to the slot of its own index.  Each domain keeps a private
+    completion count that is merged into the batch's shared counter
+    only when its claims run out, so the pool mutex is taken per
+    {e batch} (publish, park/wake, failure recording), never per
+    chunk.  Which domain runs which chunk therefore never affects
+    {e what} is computed, only {e when} — callers that are pure per
+    index get bit-identical results at every job count.  Reductions
+    (sums, folds) are deliberately left to the caller so they can be
+    done sequentially in index order.
 
     With [jobs = 1] no domains are spawned and every operation runs
     sequentially in the calling domain, so single-job results are
@@ -81,17 +85,21 @@ val fork_safe : unit -> bool
 
     All operations take the work from index [0] to [n - 1], cut it
     into chunks of [chunk] consecutive indices and run the chunks on
-    [pool] (default {!shared}).  The default chunk size adapts to the
-    input: large inputs get about eight chunks per domain (amortising
-    the per-chunk handoff), and inputs of at most four items run
-    sequentially {e without instantiating the pool at all} — tiny
-    regions no longer pay domain spin-up or handoff.  Callers whose
-    items are individually expensive (seconds-scale synthesis tasks)
-    pass [~chunk:1] to keep per-item dynamic balancing; the
-    chunk -> index mapping never affects results either way.  If a
-    task raises, the first exception (in completion order) is
-    re-raised in the caller after the region drains; remaining
-    unclaimed chunks are cancelled. *)
+    [pool] (default {!shared}).  When [chunk] is omitted, the chunk
+    size is {e adaptive}: a short probe runs the first items
+    sequentially under the wall clock, and the measured per-item cost
+    decides the dispatch — regions whose estimated total work is under
+    ~100µs finish sequentially without instantiating the pool or
+    waking any domain (the tiny-batch fast path), while larger
+    regions get chunks sized to roughly 200µs of work each, capped so
+    every domain still sees several claims for load balancing.
+    Probing runs real items in index order, so per-index results are
+    unaffected.  Callers whose items are individually expensive
+    (seconds-scale synthesis tasks) pass [~chunk:1] to keep per-item
+    dynamic balancing and skip the probe; the chunk -> index mapping
+    never affects results either way.  If a task raises, the first
+    exception (in completion order) is re-raised in the caller after
+    the region drains; remaining unclaimed chunks are cancelled. *)
 
 val for_ : ?pool:t -> ?chunk:int -> int -> (int -> unit) -> unit
 (** [for_ n f] runs [f 0 .. f (n-1)].  [f] must only write state
@@ -108,3 +116,25 @@ val mapi : ?pool:t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map]; result order matches input order. *)
+
+(** {1 Scheduling statistics}
+
+    Process-wide monotone counters (also published as [pool.*]
+    through [Prof]) plus chunk-size gauges, read by the bench
+    harness's schema-v4 output and by the tiny-batch unit tests. *)
+
+type stats = {
+  batches : int;  (** parallel batches published (domains woken) *)
+  tiny_skips : int;
+      (** default-chunk regions kept sequential by the cost probe (or
+          by the [min_chunk] floor) *)
+  sequential : int;  (** regions run sequentially for any reason *)
+  probe_items : int;  (** items consumed by adaptive cost probes *)
+  domains_spawned : int;  (** worker domains ever spawned *)
+  pool_instantiated : bool;  (** the shared pool currently exists *)
+  last_chunk : int;  (** chunk size of the last published batch; 0 if none *)
+  min_chunk_seen : int;  (** smallest chunk ever published; 0 if none *)
+  max_chunk_seen : int;  (** largest chunk ever published; 0 if none *)
+}
+
+val stats : unit -> stats

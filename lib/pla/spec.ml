@@ -8,9 +8,14 @@ type t = {
   ni : int;
   no : int;
   tables : Bytes.t array;
-  cache : planes option array;  (** packed phase planes, per output *)
-  lock : Mutex.t;  (** guards [cache] rebuilds across domains *)
+  cache : planes option Atomic.t array;
+      (** packed phase planes, per output, published by CAS *)
 }
+
+let c_plane_builds = Prof.counter "spec.plane_builds"
+let c_cas_losses = Prof.counter "spec.plane_cas_losses"
+let c_warm = Prof.counter "spec.warm_calls"
+let sp_build = Prof.span "spec.plane_build"
 
 let phase_to_char = function Off -> '\000' | On -> '\001' | Dc -> '\002'
 
@@ -26,7 +31,7 @@ let create ~ni ~no ~default =
   let tables =
     Array.init no (fun _ -> Bytes.make len (phase_to_char default))
   in
-  { ni; no; tables; cache = Array.make no None; lock = Mutex.create () }
+  { ni; no; tables; cache = Array.init no (fun _ -> Atomic.make None) }
 
 let ni t = t.ni
 let no t = t.no
@@ -43,7 +48,7 @@ let get t ~o ~m =
 let set t ~o ~m p =
   check t ~o ~m;
   Bytes.set t.tables.(o) m (phase_to_char p);
-  t.cache.(o) <- None
+  Atomic.set t.cache.(o) None
 
 let assign_dc t ~o ~m v =
   if get t ~o ~m <> Dc then invalid_arg "Spec.assign_dc: minterm is not DC";
@@ -54,18 +59,20 @@ let copy t =
     ni = t.ni;
     no = t.no;
     tables = Array.map Bytes.copy t.tables;
-    cache = Array.make t.no None;
-    lock = Mutex.create ();
+    cache = Array.init t.no (fun _ -> Atomic.make None);
   }
 
 let equal a b =
   a.ni = b.ni && a.no = b.no && Array.for_all2 Bytes.equal a.tables b.tables
 
 (* Packed phase planes.  Built lazily from the byte table, one pass
-   per output, and invalidated by [set].  The lock keeps concurrent
-   readers (the parallel evaluation layer maps over outputs of a
-   shared spec) from racing on a rebuild; mutation during a parallel
-   region is already outside the contract. *)
+   per output, and invalidated by [set].  Publication is lock-free:
+   concurrent readers (the parallel evaluation layer maps over outputs
+   of a shared spec) each compute the planes outside any lock and race
+   to install theirs with a single compare-and-set — the planes are
+   immutable once published, so losers simply adopt the winner's copy
+   and drop their own.  Mutation during a parallel region is already
+   outside the contract. *)
 let build_planes t ~o =
   let len = size t in
   let p_on = Bv.create len
@@ -82,17 +89,26 @@ let build_planes t ~o =
 
 let planes t ~o =
   if o < 0 || o >= t.no then invalid_arg "Spec: output out of range";
-  Mutex.lock t.lock;
-  let p =
-    match t.cache.(o) with
-    | Some p -> p
-    | None ->
-        let p = build_planes t ~o in
-        t.cache.(o) <- Some p;
-        p
-  in
-  Mutex.unlock t.lock;
-  p
+  let slot = t.cache.(o) in
+  match Atomic.get slot with
+  | Some p -> p
+  | None -> (
+      let p = Prof.time sp_build (fun () -> build_planes t ~o) in
+      Prof.incr c_plane_builds;
+      if Atomic.compare_and_set slot None (Some p) then p
+      else begin
+        Prof.incr c_cas_losses;
+        (* A concurrent reader published first; adopt its (identical)
+           copy.  If a mutation slipped in and re-invalidated the slot,
+           our freshly built copy is the best answer available. *)
+        match Atomic.get slot with Some q -> q | None -> p
+      end)
+
+let warm_cache t =
+  Prof.incr c_warm;
+  for o = 0 to t.no - 1 do
+    ignore (planes t ~o)
+  done
 
 let phase_planes t ~o =
   let p = planes t ~o in
@@ -212,10 +228,22 @@ let neighbour_counts_batch t ~o =
     let bits = 5 (* counts <= ni <= 20 < 32 *) in
     let on_c = K.counter_create ~len ~bits
     and off_c = K.counter_create ~len ~bits in
-    for j = 0 to t.ni - 1 do
-      K.counter_add_bit on_c (K.neighbor ~j pl.p_on);
-      K.counter_add_bit off_c (K.neighbor ~j pl.p_off)
-    done;
+    ignore
+      (K.neighbour_sweep ~nj:t.ni
+         [|
+           {
+             K.sw_src = pl.p_on;
+             sw_diff = false;
+             sw_counter = Some on_c;
+             sw_cross = None;
+           };
+           {
+             K.sw_src = pl.p_off;
+             sw_diff = false;
+             sw_counter = Some off_c;
+             sw_cross = None;
+           };
+         |]);
     let on = K.counter_extract on_c and off = K.counter_extract off_c in
     let dc = Array.init len (fun m -> t.ni - on.(m) - off.(m)) in
     (on, off, dc)

@@ -84,6 +84,13 @@ val dc_bv : t -> o:int -> Bitvec.Bv.t
     word-parallel kernels. *)
 val phase_planes : t -> o:int -> Bitvec.Bv.t * Bitvec.Bv.t * Bitvec.Bv.t
 
+(** [warm_cache t] builds the phase planes of every output up front,
+    so a subsequent parallel region fans out against a read-only
+    cache instead of racing on first-use rebuilds.  Plane publication
+    is lock-free either way (compute outside any lock, compare-and-set
+    to install); warming just moves the builds before the fan-out. *)
+val warm_cache : t -> unit
+
 (** [on_cover t ~o] ([dc_cover t ~o]) is the minterm-level cover of the
     on-set (DC-set) of output [o]; a starting point for minimisation. *)
 val on_cover : t -> o:int -> Twolevel.Cover.t

@@ -1,0 +1,134 @@
+type span = {
+  s_name : string;
+  ns : int Atomic.t;  (* accumulated nanoseconds *)
+  calls : int Atomic.t;
+}
+
+type counter = { c_name : string; v : int Atomic.t }
+
+let env_enabled () =
+  match Sys.getenv_opt "RDCA_PROF" with
+  | Some ("1" | "true" | "on" | "TRUE" | "ON") -> true
+  | _ -> false
+
+let enabled_flag = Atomic.make (env_enabled ())
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+let now () = Unix.gettimeofday ()
+
+(* Registration is rare (one mutex hit per distinct name); accumulation
+   is lock-free. *)
+let registry_lock = Mutex.create ()
+let spans : (string, span) Hashtbl.t = Hashtbl.create 32
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let span name =
+  Mutex.lock registry_lock;
+  let s =
+    match Hashtbl.find_opt spans name with
+    | Some s -> s
+    | None ->
+        let s = { s_name = name; ns = Atomic.make 0; calls = Atomic.make 0 } in
+        Hashtbl.add spans name s;
+        s
+  in
+  Mutex.unlock registry_lock;
+  s
+
+let counter name =
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; v = Atomic.make 0 } in
+        Hashtbl.add counters name c;
+        c
+  in
+  Mutex.unlock registry_lock;
+  c
+
+let charge s dt =
+  let dns = int_of_float (dt *. 1e9) in
+  ignore (Atomic.fetch_and_add s.ns (max 0 dns));
+  ignore (Atomic.fetch_and_add s.calls 1)
+
+let add_elapsed s dt = if Atomic.get enabled_flag then charge s dt
+
+let time s f =
+  if not (Atomic.get enabled_flag) then f ()
+  else
+    let t0 = now () in
+    match f () with
+    | v ->
+        charge s (now () -. t0);
+        v
+    | exception e ->
+        charge s (now () -. t0);
+        raise e
+
+let incr c = ignore (Atomic.fetch_and_add c.v 1)
+let add c n = ignore (Atomic.fetch_and_add c.v n)
+let value c = Atomic.get c.v
+
+type snapshot = {
+  spans : (string * float * int) list;
+  counters : (string * int) list;
+}
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let ss =
+    Hashtbl.fold
+      (fun name s acc ->
+        (name, float_of_int (Atomic.get s.ns) *. 1e-9, Atomic.get s.calls)
+        :: acc)
+      spans []
+  and cs =
+    Hashtbl.fold (fun name c acc -> (name, Atomic.get c.v) :: acc) counters []
+  in
+  Mutex.unlock registry_lock;
+  {
+    spans = List.sort (fun (a, _, _) (b, _, _) -> compare a b) ss;
+    counters = List.sort compare cs;
+  }
+
+let diff ~before ~after =
+  let span_before =
+    List.fold_left
+      (fun m (n, s, c) -> (n, (s, c)) :: m)
+      [] before.spans
+  and ctr_before = before.counters in
+  let spans =
+    List.filter_map
+      (fun (n, s, c) ->
+        let s0, c0 =
+          match List.assoc_opt n span_before with
+          | Some (s0, c0) -> (s0, c0)
+          | None -> (0., 0)
+        in
+        let ds = s -. s0 and dc = c - c0 in
+        if dc = 0 && ds < 1e-12 then None else Some (n, ds, dc))
+      after.spans
+  and counters =
+    List.filter_map
+      (fun (n, v) ->
+        let v0 = Option.value ~default:0 (List.assoc_opt n ctr_before) in
+        if v - v0 = 0 then None else Some (n, v - v0))
+      after.counters
+  in
+  { spans; counters }
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter
+    (fun _ s ->
+      Atomic.set s.ns 0;
+      Atomic.set s.calls 0)
+    spans;
+  Hashtbl.iter (fun _ c -> Atomic.set c.v 0) counters;
+  Mutex.unlock registry_lock
+
+(* Silence unused-field warnings: names are carried for debuggability. *)
+let _ = fun (s : span) -> s.s_name
+let _ = fun (c : counter) -> c.c_name

@@ -1,0 +1,70 @@
+(** Near-zero-overhead profiling primitives shared by every layer.
+
+    Two kinds of instruments live here:
+
+    - {b spans} — named wall-clock accumulators wrapped around a region
+      of code.  Timing is gated: unless profiling has been switched on
+      (via {!set_enabled} or the [RDCA_PROF] environment variable) a
+      span costs one atomic load and a branch.  When enabled, each
+      {!time} call adds the elapsed wall time (monotonic enough for
+      aggregation: [Unix.gettimeofday]) and a call count to the span's
+      atomic accumulators, so spans are safe to hit concurrently from
+      any number of domains.
+    - {b counters} — always-on monotone event counters ({!incr}/{!add}
+      only), again plain atomics, cheap enough to leave enabled in
+      production paths (the pool increments one per {e batch}, not per
+      item).
+
+    Both are registered globally by name; {!span}/{!counter} are
+    idempotent, returning the existing instrument when the name is
+    already taken.  {!snapshot} captures all accumulators at once and
+    {!diff} subtracts two snapshots, which is how the bench harness
+    attributes a section's wall time to named spans (schema v4). *)
+
+type span
+type counter
+
+val set_enabled : bool -> unit
+(** Switch span timing on or off at runtime.  The initial state comes
+    from the [RDCA_PROF] environment variable ([1]/[true]/[on]). *)
+
+val enabled : unit -> bool
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); exported so callers that
+    need ad-hoc timing agree with the span clock. *)
+
+val span : string -> span
+(** Register (or look up) a span by name.  Thread-safe. *)
+
+val time : span -> (unit -> 'a) -> 'a
+(** [time s f] runs [f ()], accumulating elapsed wall time and one call
+    into [s] when profiling is enabled.  Exceptions are re-raised after
+    the span is charged. *)
+
+val add_elapsed : span -> float -> unit
+(** Charge an externally measured duration (seconds) to a span, when
+    the region cannot be expressed as a closure. *)
+
+val counter : string -> counter
+(** Register (or look up) a counter by name.  Thread-safe. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+type snapshot = {
+  spans : (string * float * int) list;
+      (** (name, accumulated seconds, call count), name-sorted. *)
+  counters : (string * int) list;  (** (name, value), name-sorted. *)
+}
+
+val snapshot : unit -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Pointwise [after - before]; instruments registered after [before]
+    was taken appear with their full [after] value.  Entries that are
+    zero in the result are dropped. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (the registry itself is kept). *)

@@ -23,13 +23,11 @@ let same_phase_pairs_scalar spec ~o =
 let same_counts_kernel spec ~o =
   let n = Spec.ni spec in
   let on, off, dc = Spec.phase_planes spec ~o in
-  let s_on = ref 0 and s_off = ref 0 and s_dc = ref 0 in
-  for j = 0 to n - 1 do
-    s_on := !s_on + K.popcount_and (K.neighbor ~j on) on;
-    s_off := !s_off + K.popcount_and (K.neighbor ~j off) off;
-    s_dc := !s_dc + K.popcount_and (K.neighbor ~j dc) dc
-  done;
-  (!s_on, !s_off, !s_dc)
+  let op p =
+    { K.sw_src = p; sw_diff = false; sw_counter = None; sw_cross = Some p }
+  in
+  let accs = K.neighbour_sweep ~nj:n [| op on; op off; op dc |] in
+  (accs.(0), accs.(1), accs.(2))
 
 let same_phase_pairs spec ~o =
   if K.use () then begin

@@ -29,7 +29,7 @@ let of_table_scalar spec ~o ~impl =
 
 (* Word-parallel engine: an event (m, j) propagates iff bit m of
    [neighbor_diff ~j impl] is set, so the per-output count is n fused
-   popcounts over the care set. *)
+   popcounts over the care set — tiled into one cache-blocked sweep. *)
 let of_table_kernel spec ~o ~impl =
   let n = Spec.ni spec in
   if Bv.length impl <> Spec.size spec then
@@ -38,11 +38,18 @@ let of_table_kernel spec ~o ~impl =
   else begin
     let _, _, dc = Spec.phase_planes spec ~o in
     let care = Bv.complement dc in
-    let count = ref 0 in
-    for j = 0 to n - 1 do
-      count := !count + K.popcount_and (K.neighbor_diff ~j impl) care
-    done;
-    rate ~n !count
+    let accs =
+      K.neighbour_sweep ~nj:n
+        [|
+          {
+            K.sw_src = impl;
+            sw_diff = true;
+            sw_counter = None;
+            sw_cross = Some care;
+          };
+        |]
+    in
+    rate ~n accs.(0)
   end
 
 let of_table spec ~o ~impl =
@@ -115,15 +122,28 @@ let bounds_kernel spec ~o =
   else begin
     let on, off, dc = Spec.phase_planes spec ~o in
     let len = Spec.size spec in
-    let base = ref 0 in
     let on_c = K.counter_create ~len ~bits:5
     and off_c = K.counter_create ~len ~bits:5 in
-    for j = 0 to n - 1 do
-      let n_on = K.neighbor ~j on and n_off = K.neighbor ~j off in
-      base := !base + K.popcount_and on n_off + K.popcount_and off n_on;
-      K.counter_add_bit on_c n_on;
-      K.counter_add_bit off_c n_off
-    done;
+    (* One tiled sweep: each j-neighbour plane feeds its counter and
+       the opposite-phase cross popcount while hot in cache. *)
+    let accs =
+      K.neighbour_sweep ~nj:n
+        [|
+          {
+            K.sw_src = on;
+            sw_diff = false;
+            sw_counter = Some on_c;
+            sw_cross = Some off;
+          };
+          {
+            K.sw_src = off;
+            sw_diff = false;
+            sw_counter = Some off_c;
+            sw_cross = Some on;
+          };
+        |]
+    in
+    let base = ref (accs.(0) + accs.(1)) in
     let s =
       K.counter_weighted_sum on_c ~mask:dc
       + K.counter_weighted_sum off_c ~mask:dc

@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* The SplitMix64 finaliser: xor-shift / multiply avalanche rounds. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+let stream ~seed ~index =
+  (* Spread the key over the state space, then finalise twice so that
+     nearby (seed, index) pairs land in unrelated stream positions. *)
+  let key =
+    Int64.add (Int64.of_int seed) (Int64.mul golden (Int64.of_int index))
+  in
+  { state = mix64 (mix64 key) }
+
+let split t = { state = mix64 (next_int64 t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splittable.int: bound must be > 0";
+  (* Rejection sampling on the top 62 bits keeps the draw unbiased. *)
+  let mask = max_int in
+  let rec go () =
+    let v = Int64.to_int (next_int64 t) land mask in
+    let r = v mod bound in
+    if v - r > mask - bound + 1 then go () else r
+  in
+  go ()
+
+let float t bound =
+  let v = Int64.to_int (next_int64 t) land max_int in
+  bound *. (float_of_int v /. (float_of_int max_int +. 1.))
+
+let to_random_state t =
+  Random.State.make
+    (Array.init 4 (fun _ -> Int64.to_int (next_int64 t) land max_int))

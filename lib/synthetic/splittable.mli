@@ -1,0 +1,39 @@
+(** Splittable pseudo-random streams for deterministic parallel
+    generation.
+
+    A SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014): the
+    state advances by the 64-bit golden-gamma constant and each output
+    is a strong avalanche mix of the state.  The point here is not
+    statistical novelty but {e keying}: {!stream} derives an
+    independent-looking stream from a [(seed, index)] pair, so a
+    parallel grid can generate its per-task random inputs {e inside}
+    the task — task [i] draws from [stream ~seed ~index:i] — and the
+    result is identical at every job count and independent of
+    scheduling order, with no sequential pre-generation pass.
+
+    {!to_random_state} bridges to [Random.State.t] so existing
+    generators ({!Synth_gen}) are reused unchanged. *)
+
+type t
+
+val stream : seed:int -> index:int -> t
+(** The stream keyed by [(seed, index)].  Equal keys give equal
+    streams; distinct keys give streams with no detectable relation
+    (two finaliser rounds separate them). *)
+
+val split : t -> t
+(** A new stream forked off [t]; [t] itself advances by one draw. *)
+
+val next_int64 : t -> int64
+(** The next raw 64-bit draw. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val to_random_state : t -> Random.State.t
+(** A [Random.State.t] seeded from four draws of [t] (which advances),
+    for feeding stdlib-based generators from a keyed stream. *)

@@ -28,6 +28,40 @@ let build_index lib =
     lib;
   index
 
+(* The index only depends on the library, and [Stdcell.default_library]
+   allocates a fresh (but equal) list per call — memoise on the library
+   value itself.  [Stdcell.t] is all scalar data, so structural
+   hashing is exact.  The cached index is read-only after build
+   ([Hashtbl.find_all] only), hence safe to share across domains. *)
+let c_index_hits = Prof.counter "map.index_hits"
+let c_index_misses = Prof.counter "map.index_misses"
+let sp_map = Prof.span "techmap.map"
+
+let index_memo :
+    (Stdcell.t list, (int * Truth.t, Stdcell.t * int array * bool) Hashtbl.t)
+    Hashtbl.t =
+  Hashtbl.create 4
+
+let index_lock = Mutex.create ()
+let index_cap = 8
+
+let index_for lib =
+  Mutex.lock index_lock;
+  let cached = Hashtbl.find_opt index_memo lib in
+  Mutex.unlock index_lock;
+  match cached with
+  | Some index ->
+      Prof.incr c_index_hits;
+      index
+  | None ->
+      Prof.incr c_index_misses;
+      let index = build_index lib in
+      Mutex.lock index_lock;
+      if Hashtbl.length index_memo >= index_cap then Hashtbl.reset index_memo;
+      if not (Hashtbl.mem index_memo lib) then Hashtbl.add index_memo lib index;
+      Mutex.unlock index_lock;
+      index
+
 (* Estimated fanout of each AIG node (for area-flow sharing). *)
 let fanout_counts aig =
   let counts = Array.make (Aig.num_nodes aig) 0 in
@@ -42,6 +76,7 @@ let fanout_counts aig =
 let activity p = 2.0 *. p *. (1.0 -. p)
 
 let map ~mode ~lib aig =
+  Prof.time sp_map @@ fun () ->
   (match Stdcell.validate lib with
   | Some msg -> invalid_arg ("Mapper.map: bad library: " ^ msg)
   | None -> ());
@@ -54,8 +89,8 @@ let map ~mode ~lib aig =
   let nand2_cell =
     List.find_opt (fun (c : Stdcell.t) -> c.Stdcell.name = "NAND2") lib
   in
-  let index = build_index lib in
-  let cuts = Aig.Cut.enumerate aig ~k:4 ~max_cuts:8 in
+  let index = index_for lib in
+  let cuts = Aig.Cut.enumerate_memo aig ~k:4 ~max_cuts:8 in
   let n = Aig.num_nodes aig in
   let fanout = fanout_counts aig in
   let probs = if mode = Power then Aig.node_probs aig else [||] in

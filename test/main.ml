@@ -32,6 +32,7 @@ let () =
       Test_inject.suite;
       Test_campaign.suite;
       Test_parallel.suite;
+      Test_splittable.suite;
       Test_synthetic.suite;
       Test_circuits.suite;
       Test_core.suite;

@@ -142,6 +142,32 @@ let test_cut_enumeration () =
         check_int "and4 tt" (Truth.of_fun 4 (fun idx -> idx = 15)) cut.Aig.Cut.tt)
     fcuts
 
+let test_cut_enumerate_memo () =
+  let build () =
+    let t = Aig.create ~ni:4 in
+    let a = Aig.input t 0 and b = Aig.input t 1 in
+    let c = Aig.input t 2 and d = Aig.input t 3 in
+    let f = Aig.lor_ t (Aig.land_ t a b) (Aig.land_ t c d) in
+    Aig.set_outputs t [| f |];
+    t
+  in
+  let t = build () in
+  Aig.Cut.clear_memo ();
+  let plain = Aig.Cut.enumerate t ~k:4 ~max_cuts:8 in
+  let miss = Aig.Cut.enumerate_memo t ~k:4 ~max_cuts:8 in
+  check "memo miss equals plain enumeration" true (miss = plain);
+  (* A second call — even on a freshly rebuilt but structurally
+     identical AIG — returns the shared cached array. *)
+  check "memo hit shares the cached result" true
+    (Aig.Cut.enumerate_memo (build ()) ~k:4 ~max_cuts:8 == miss);
+  (* Different parameters are different keys. *)
+  let k2 = Aig.Cut.enumerate_memo t ~k:2 ~max_cuts:4 in
+  check "distinct (k, max_cuts) key" true
+    (k2 = Aig.Cut.enumerate t ~k:2 ~max_cuts:4);
+  Aig.Cut.clear_memo ();
+  check "identical again after clear_memo" true
+    (Aig.Cut.enumerate_memo t ~k:4 ~max_cuts:8 = plain)
+
 let test_cut_function_matches () =
   let t = Aig.create ~ni:3 in
   let a = Aig.input t 0 and b = Aig.input t 1 and c = Aig.input t 2 in
@@ -240,6 +266,7 @@ let suite =
       Alcotest.test_case "cleanup" `Quick test_cleanup;
       Alcotest.test_case "node probabilities" `Quick test_node_probs;
       Alcotest.test_case "cut enumeration" `Quick test_cut_enumeration;
+      Alcotest.test_case "cut enumeration memo" `Quick test_cut_enumerate_memo;
       Alcotest.test_case "cut function recomputation" `Quick
         test_cut_function_matches;
       QCheck_alcotest.to_alcotest prop_of_covers_semantics;

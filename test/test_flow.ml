@@ -93,8 +93,7 @@ let test_table1_rows () =
     rows
 
 let test_fig2_trend () =
-  let rng = Random.State.make [| 5 |] in
-  let rows = E.fig2 ~targets:[ 0.3; 0.6; 0.9 ] ~per_target:2 ~rng () in
+  let rows = E.fig2 ~targets:[ 0.3; 0.6; 0.9 ] ~per_target:2 ~seed:5 () in
   check_int "points" 6 (List.length rows);
   let mean target =
     let sel = List.filter (fun p -> p.E.f2_target = target) rows in

@@ -145,6 +145,78 @@ let prop_ranking_weights =
       in
       ranking_ok && assign_ok)
 
+(* ------------------------------------------------------------------ *)
+(* The cache-blocked neighbour sweep must be bit-identical to
+   composing the word-at-a-time kernels it fuses — neighbor /
+   neighbor_diff with popcount_and and counter_add_bit — at every
+   tile size, operand count and op shape (diff or plain plane,
+   with/without cross mask, with/without counter). *)
+
+let sweep_reference ~nj ops =
+  let nops = Array.length ops in
+  let accs = Array.make nops 0 in
+  for j = 0 to nj - 1 do
+    Array.iteri
+      (fun oi op ->
+        let plane =
+          if op.K.sw_diff then K.neighbor_diff ~j op.K.sw_src
+          else K.neighbor ~j op.K.sw_src
+        in
+        (match op.K.sw_cross with
+        | Some x -> accs.(oi) <- accs.(oi) + K.popcount_and plane x
+        | None -> ());
+        match op.K.sw_counter with
+        | Some c -> K.counter_add_bit c plane
+        | None -> ())
+      ops
+  done;
+  accs
+
+let prop_neighbour_sweep =
+  QCheck.Test.make
+    ~name:"tiled neighbour_sweep = composed neighbor/popcount/counter kernels"
+    ~count:150
+    QCheck.(
+      quad (int_range 1 6) (int_range 1 3) (int_range 1 8) small_int)
+    (fun (nj, blocks, tile, seed) ->
+      let len = blocks * (1 lsl nj) in
+      let rng = Random.State.make [| seed; nj; blocks; tile |] in
+      let rand_bv () = Bv.random ~rng len ~density:0.4 in
+      let nops = 1 + Random.State.int rng 3 in
+      (* One description, two independent instantiations: the sweep
+         and the reference both mutate their own counters. *)
+      let descr =
+        Array.init nops (fun _ ->
+            ( Random.State.bool rng,
+              rand_bv (),
+              (if Random.State.bool rng then Some (rand_bv ()) else None),
+              Random.State.bool rng ))
+      in
+      let op_of (sw_diff, src, cross, with_counter) =
+        {
+          K.sw_src = src;
+          sw_diff;
+          sw_counter =
+            (if with_counter then Some (K.counter_create ~len ~bits:6)
+             else None);
+          sw_cross = cross;
+        }
+      in
+      let ops_a = Array.map op_of descr in
+      let ops_b = Array.map op_of descr in
+      let accs_a = K.neighbour_sweep ~tile ~nj ops_a in
+      let accs_b = sweep_reference ~nj ops_b in
+      let counters_agree =
+        Array.for_all2
+          (fun a b ->
+            match (a.K.sw_counter, b.K.sw_counter) with
+            | Some ca, Some cb -> K.counter_extract ca = K.counter_extract cb
+            | None, None -> true
+            | _ -> false)
+          ops_a ops_b
+      in
+      accs_a = accs_b && counters_agree)
+
 (* Regression: a spec with no inputs has no error events at all — the
    rate is 0, not 0/0 = NaN.  Both engines, plus the bounds. *)
 let test_no_input_rate_is_zero () =
@@ -187,6 +259,7 @@ let suite =
       QCheck_alcotest.to_alcotest prop_complexity_factor;
       QCheck_alcotest.to_alcotest prop_lcf_batch;
       QCheck_alcotest.to_alcotest prop_ranking_weights;
+      QCheck_alcotest.to_alcotest prop_neighbour_sweep;
       Alcotest.test_case "no-input spec: rate 0, not NaN" `Quick
         test_no_input_rate_is_zero;
       Alcotest.test_case "no-input spec: LCf = 1" `Quick test_no_input_lcf;

@@ -97,6 +97,52 @@ let test_validation () =
   | _ -> Alcotest.fail "set_default_jobs 0 must raise"
   | exception Invalid_argument _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* The tiny-batch fast path: a microsecond-scale region under the
+   default (adaptive) chunking must finish sequentially — no batch
+   published, no domain spawned, not even the shared pool
+   instantiated — while a region with real per-item cost must still
+   get dispatched as a parallel batch. *)
+
+let test_tiny_batch_never_wakes_domains () =
+  let attempt () =
+    Pool.quiesce ();
+    let s0 = Pool.stats () in
+    let expected = Array.init 32 (fun i -> i * 3) in
+    Pool.with_jobs 4 (fun () ->
+        check "tiny map result" true (Pool.init 32 (fun i -> i * 3) = expected));
+    let s1 = Pool.stats () in
+    s1.Pool.batches = s0.Pool.batches
+    && s1.Pool.domains_spawned = s0.Pool.domains_spawned
+    && (not s1.Pool.pool_instantiated)
+    && s1.Pool.sequential > s0.Pool.sequential
+  in
+  (* The dispatch decision rests on a ~20us wall-clock cost probe, so
+     one attempt can be spoiled by a descheduling hiccup mid-probe; a
+     real regression (tiny regions getting published) fails every
+     attempt deterministically. *)
+  check "tiny batch stayed sequential (no publish, no spawn)" true
+    (attempt () || attempt () || attempt ())
+
+let test_expensive_batch_publishes () =
+  Pool.quiesce ();
+  let s0 = Pool.stats () in
+  let busy i =
+    let acc = ref i in
+    for k = 1 to 200_000 do
+      acc := !acc + (k land 7)
+    done;
+    !acc
+  in
+  let expected = Array.init 64 busy in
+  Pool.with_jobs 2 (fun () ->
+      check "expensive map result" true (Pool.init 64 busy = expected));
+  let s1 = Pool.stats () in
+  check "batch published" true (s1.Pool.batches > s0.Pool.batches);
+  check "cost probe consumed items" true
+    (s1.Pool.probe_items > s0.Pool.probe_items);
+  check "chunk gauge recorded" true (s1.Pool.last_chunk >= 1)
+
 let prop_map_list_equivalence =
   QCheck.Test.make ~name:"map_list equals List.map at any job count"
     ~count:100
@@ -197,6 +243,10 @@ let suite =
       Alcotest.test_case "with_jobs restores the default" `Quick
         test_with_jobs_restores;
       Alcotest.test_case "job count validation" `Quick test_validation;
+      Alcotest.test_case "tiny batch never wakes domains" `Quick
+        test_tiny_batch_never_wakes_domains;
+      Alcotest.test_case "expensive batch publishes" `Quick
+        test_expensive_batch_publishes;
       QCheck_alcotest.to_alcotest prop_map_list_equivalence;
       Alcotest.test_case "diff: error-rate of_tables" `Quick
         test_diff_of_tables;

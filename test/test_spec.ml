@@ -179,6 +179,52 @@ let test_neighbour_counts_batch_matches () =
       done)
     [ false; true ]
 
+(* A spec with a mix of phases on every output, for the cache tests. *)
+let mixed_spec () =
+  let s = Spec.create ~ni:5 ~no:3 ~default:Spec.Off in
+  for o = 0 to 2 do
+    for m = 0 to 31 do
+      if (m * (o + 3)) mod 7 < 2 then Spec.set s ~o ~m Spec.On
+      else if (m * (o + 5)) mod 11 < 3 then Spec.set s ~o ~m Spec.Dc
+    done
+  done;
+  s
+
+let planes_equal (a, b, c) (a', b', c') =
+  Bitvec.Bv.equal a a' && Bitvec.Bv.equal b b' && Bitvec.Bv.equal c c'
+
+let test_warm_cache () =
+  let s = mixed_spec () in
+  let cold = Spec.copy s in
+  Spec.warm_cache s;
+  for o = 0 to 2 do
+    check "warmed planes match lazily built ones" true
+      (planes_equal (Spec.phase_planes s ~o) (Spec.phase_planes cold ~o))
+  done;
+  (* Warming again after an invalidating write rebuilds the stale
+     output and leaves the rest correct. *)
+  Spec.set s ~o:1 ~m:0 Spec.On;
+  Spec.warm_cache s;
+  let on, _, _ = Spec.phase_planes s ~o:1 in
+  check "invalidated output rebuilt by warm_cache" true (Bitvec.Bv.get on 0)
+
+(* Racing first-use builds from several domains: every domain gets
+   planes equal to the sequentially built ones (the CAS publication
+   can discard losers' copies but never mix them). *)
+let test_plane_cache_concurrent_publish () =
+  let reference = Spec.phase_planes (mixed_spec ()) ~o:0 in
+  let s = mixed_spec () in
+  let domains =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Spec.phase_planes s ~o:0))
+  in
+  List.iteri
+    (fun i d ->
+      check
+        (Printf.sprintf "domain %d sees the published planes" i)
+        true
+        (planes_equal (Domain.join d) reference))
+    domains
+
 let prop_phase_partition =
   QCheck.Test.make ~name:"on+off+dc counts partition the space" ~count:100
     QCheck.(list_of_size (QCheck.Gen.return 16) (int_bound 2))
@@ -226,6 +272,10 @@ let suite =
         test_plane_cache_invalidation;
       Alcotest.test_case "neighbour_counts_batch matches per-minterm" `Quick
         test_neighbour_counts_batch_matches;
+      Alcotest.test_case "warm_cache prebuilds every output" `Quick
+        test_warm_cache;
+      Alcotest.test_case "concurrent plane publication" `Quick
+        test_plane_cache_concurrent_publish;
       QCheck_alcotest.to_alcotest prop_phase_partition;
       QCheck_alcotest.to_alcotest prop_neighbour_sum;
     ] )

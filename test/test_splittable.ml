@@ -1,0 +1,113 @@
+(* Splittable SplitMix64 streams: keying quality (no collisions across
+   a large grid of (seed, index) draws), determinism of every derived
+   view, and the end-to-end contract the streams exist for — the
+   fig2/fig6 generators are pure functions of their seed at every job
+   count, because each parallel task derives its own stream from
+   (seed, task index) instead of sharing a sequential generator. *)
+
+module S = Synthetic.Splittable
+module Pool = Parallel.Pool
+module E = Rdca_flow.Experiments
+
+let check = Alcotest.(check bool)
+
+let draws t n = List.init n (fun _ -> S.next_int64 t)
+
+let test_stream_determinism () =
+  let a = draws (S.stream ~seed:2011 ~index:7) 100 in
+  let b = draws (S.stream ~seed:2011 ~index:7) 100 in
+  check "equal keys give equal streams" true (a = b);
+  let c = draws (S.stream ~seed:2011 ~index:8) 100 in
+  let d = draws (S.stream ~seed:2012 ~index:7) 100 in
+  check "sibling index differs" true (a <> c);
+  check "sibling seed differs" true (a <> d)
+
+(* 10^5 draws across a 1000-stream x 100-draw grid plus the stream of
+   every index's first draw: all 64-bit outputs distinct.  SplitMix64
+   is a bijection of its state, so collisions across well-keyed
+   streams would mean the keying collapses states — the exact failure
+   mode that would make parallel tasks generate correlated inputs. *)
+let test_no_collisions () =
+  let seen = Hashtbl.create 200_003 in
+  let collisions = ref 0 in
+  for index = 0 to 999 do
+    let t = S.stream ~seed:42 ~index in
+    for _ = 1 to 100 do
+      let v = S.next_int64 t in
+      if Hashtbl.mem seen v then incr collisions else Hashtbl.add seen v ()
+    done
+  done;
+  check "no collisions over 10^5 draws" true (!collisions = 0);
+  Alcotest.(check int) "draw count" 100_000 (Hashtbl.length seen)
+
+let test_split_diverges () =
+  let t = S.stream ~seed:5 ~index:0 in
+  let u = S.split t in
+  check "split stream differs from parent" true (draws t 20 <> draws u 20)
+
+let test_to_random_state_deterministic () =
+  let mk () = S.to_random_state (S.stream ~seed:9 ~index:3) in
+  let a = mk () and b = mk () in
+  let seq st = List.init 50 (fun _ -> Random.State.int st 1000) in
+  check "bridged Random.State is deterministic" true (seq a = seq b)
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"Splittable.int stays in bounds" ~count:200
+    QCheck.(triple small_int small_int (int_range 1 1000))
+    (fun (seed, index, bound) ->
+      let t = S.stream ~seed ~index in
+      List.for_all
+        (fun _ ->
+          let v = S.int t bound in
+          0 <= v && v < bound)
+        (List.init 20 Fun.id))
+
+let prop_stream_stable =
+  QCheck.Test.make ~name:"stream is a pure function of (seed, index)"
+    ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (seed, index) ->
+      draws (S.stream ~seed ~index) 10 = draws (S.stream ~seed ~index) 10)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the generator-backed experiments are identical at any
+   job count (structural equality on float-carrying records is exact
+   equality of every bit of every field). *)
+
+let at_jobs f = List.map (fun j -> Pool.with_jobs j f) [ 1; 2; 4 ]
+
+let all_equal = function
+  | [] -> true
+  | x :: rest -> List.for_all (fun y -> y = x) rest
+
+let test_fig2_identical_across_jobs () =
+  check "fig2 identical at jobs 1/2/4" true
+    (all_equal
+       (at_jobs (fun () ->
+            E.fig2 ~targets:[ 0.3; 0.7 ] ~per_target:2 ~seed:42 ())))
+
+let test_fig6_identical_across_jobs () =
+  check "fig6 identical at jobs 1/2/4" true
+    (all_equal
+       (at_jobs (fun () ->
+            E.fig6 ~families:[ 0.4 ] ~funcs_per_family:2
+              ~fractions:[ 0.0; 1.0 ] ~ni:6 ~no:2 ~seed:66 ())))
+
+let suite =
+  ( "splittable",
+    [
+      Alcotest.test_case "stream determinism and keying" `Quick
+        test_stream_determinism;
+      Alcotest.test_case "no collisions over 10^5 draws" `Quick
+        test_no_collisions;
+      Alcotest.test_case "split diverges from parent" `Quick
+        test_split_diverges;
+      Alcotest.test_case "to_random_state deterministic" `Quick
+        test_to_random_state_deterministic;
+      QCheck_alcotest.to_alcotest prop_int_bounds;
+      QCheck_alcotest.to_alcotest prop_stream_stable;
+      Alcotest.test_case "fig2 identical across job counts" `Quick
+        test_fig2_identical_across_jobs;
+      Alcotest.test_case "fig6 identical across job counts" `Quick
+        test_fig6_identical_across_jobs;
+    ] )

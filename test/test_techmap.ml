@@ -138,6 +138,26 @@ let prop_mapping_equiv mode name =
       done;
       !ok)
 
+(* The mapper memoises cut enumeration and its match index; repeated
+   maps — including with a freshly allocated but structurally equal
+   library, which hits the same index entry — must be identical to
+   the first. *)
+let test_map_memoised_identical () =
+  let aig =
+    let t = Aig.create ~ni:3 in
+    let a = Aig.input t 0 and b = Aig.input t 1 and c = Aig.input t 2 in
+    Aig.set_outputs t [| Aig.lor_ t (Aig.land_ t a b) c |];
+    t
+  in
+  let report m = Report.of_netlist m in
+  let r1 = report (Mapper.map ~mode:Mapper.Area ~lib aig) in
+  let r2 = report (Mapper.map ~mode:Mapper.Area ~lib aig) in
+  check "repeat map identical" true (r1 = r2);
+  let r3 =
+    report (Mapper.map ~mode:Mapper.Area ~lib:(Stdcell.default_library ()) aig)
+  in
+  check "fresh library instance identical" true (r1 = r3)
+
 let suite =
   ( "techmap",
     [
@@ -155,6 +175,8 @@ let suite =
       Alcotest.test_case "area mode is smallest" `Quick
         test_area_mode_not_bigger;
       Alcotest.test_case "report normalise" `Quick test_report_normalise;
+      Alcotest.test_case "memoised mapping identical" `Quick
+        test_map_memoised_identical;
       QCheck_alcotest.to_alcotest
         (prop_mapping_equiv Mapper.Delay "delay mapping preserves function");
       QCheck_alcotest.to_alcotest
