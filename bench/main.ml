@@ -18,7 +18,7 @@
      dune exec bench/main.exe -- --profile     # span timing on (also RDCA_PROF)
      dune exec bench/main.exe -- --json out.json
    Sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal
-   check-ex1010 sweep-distrib backends dc-extract micro
+   check-ex1010 sweep-distrib backends dc-extract testability micro
 
    The sweep-distrib section (run when requested by name or when
    --workers > 0) re-evaluates a small sweep through the supervised
@@ -885,6 +885,93 @@ let run_dc_extract ~full () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* SAT-based stuck-at testability: synthesize each suite benchmark,
+   analyze the full collapsed fault universe with the SAT engine and
+   again with the exhaustive word-parallel simulator, and compare the
+   two verdict vectors bit-identically.  Any divergence feeds the
+   mismatch list so the cross-engine contract gates the exit code;
+   faults/s and the collapse ratio are the headline scalars.  Timing
+   makes this a run-once section. *)
+
+let run_testability ~full:_ () =
+  let module A = Atpg.Engine in
+  let names = [ "bench"; "fout"; "p3" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Synthetic.Suite.load_by_name name in
+        let r =
+          Rdca_flow.Flow.synthesize ~mode:Techmap.Mapper.Area
+            ~strategy:Rdca_flow.Flow.Conventional spec
+        in
+        let nl = r.Rdca_flow.Flow.netlist in
+        let analyze backend =
+          A.analyze ~config:{ A.default_config with A.backend } nl
+        in
+        let t0 = Unix.gettimeofday () in
+        let sat = analyze A.Sat_engine in
+        let dt = Unix.gettimeofday () -. t0 in
+        let exh = analyze A.Exhaustive in
+        let identical =
+          List.length sat.A.results = List.length exh.A.results
+          && List.for_all2
+               (fun (a : A.fault_result) (b : A.fault_result) ->
+                 Atpg.Fault.compare a.A.rep b.A.rep = 0
+                 && a.A.verdict = b.A.verdict)
+               sat.A.results exh.A.results
+        in
+        if not identical then
+          mismatches :=
+            Printf.sprintf "testability [%s sat/exhaustive]" name
+            :: !mismatches;
+        let faults_per_s =
+          if dt <= 0.0 then 0.0 else float_of_int sat.A.classes /. dt
+        in
+        (name, sat, identical, faults_per_s))
+      names
+  in
+  let all_identical = List.for_all (fun (_, _, ok, _) -> ok) rows in
+  {
+    tables =
+      [
+        {
+          title = "testability: SAT vs exhaustive stuck-at verdicts";
+          header =
+            [
+              "name"; "faults"; "classes"; "collapse"; "untestable";
+              "identical"; "faults/s";
+            ];
+          rows =
+            List.map
+              (fun (name, (rep : A.report), ok, fps) ->
+                [
+                  name;
+                  string_of_int rep.A.total_faults;
+                  string_of_int rep.A.classes;
+                  T.f2 rep.A.collapse_ratio;
+                  string_of_int rep.A.untestable;
+                  (if ok then "yes" else "NO");
+                  Printf.sprintf "%.0f" fps;
+                ])
+              rows;
+        };
+      ];
+    scalars =
+      List.concat_map
+        (fun (name, (rep : A.report), ok, fps) ->
+          [
+            (name ^ "_faults", float_of_int rep.A.total_faults);
+            (name ^ "_classes", float_of_int rep.A.classes);
+            (name ^ "_collapse_ratio", rep.A.collapse_ratio);
+            (name ^ "_untestable", float_of_int rep.A.untestable);
+            (name ^ "_faults_per_s", fps);
+            (name ^ "_identical", if ok then 1.0 else 0.0);
+          ])
+        rows
+      @ [ ("sat_exhaustive_identical", if all_identical then 1.0 else 0.0) ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Driver: run each requested section three times — scalar engine at
    one job, kernel engine at one job, and (when --jobs > 1) kernel at
    N jobs — check all runs produce identical results, and record the
@@ -911,6 +998,7 @@ let sections =
     { sec_name = "sweep-distrib"; dual = false; build = run_sweep_distrib };
     { sec_name = "backends"; dual = true; build = run_backends };
     { sec_name = "dc-extract"; dual = false; build = run_dc_extract };
+    { sec_name = "testability"; dual = false; build = run_testability };
     { sec_name = "micro"; dual = false; build = run_micro };
   ]
 
@@ -999,7 +1087,7 @@ let usage () =
     "usage: bench [--full] [--jobs N] [--workers N] [--profile] [--json FILE] \
      [SECTION...]\n\
      sections: table1 fig2 fig4 fig5 fig6 table2 table3 ablations nodal \
-     check-ex1010 sweep-distrib micro";
+     check-ex1010 sweep-distrib backends dc-extract testability micro";
   exit 2
 
 (* Hidden worker mode: sweep-distrib Exec-spawns this binary as its

@@ -10,6 +10,7 @@
      estimate   analytical min-max reliability estimates vs exact bounds
      check      static lints + cover/netlist audits (text or JSON report)
      optimize   windowed ODC/SDC recovery + checked node rewriting
+     testability SAT-based stuck-at testability + checked redundancy removal
      suite      list the built-in Table 1 benchmark suite
      bench      parallel-determinism smoke benchmark (JSON output, for CI)
      worker     serve supervised tasks over stdin/stdout (internal) *)
@@ -372,6 +373,40 @@ let campaign_arg_error ~trials ~confidence ~max_sites =
     | Some n when n <= 0 -> Some "--max-sites must be positive"
     | _ -> None
 
+let skip_untestable_arg =
+  let doc =
+    "Statically analyse testability first ($(b,rdca testability)) and \
+     exclude sites whose every swept fault kind is untestable: their \
+     faults cannot reach an output, so they contribute exactly zero \
+     propagated events and only dilute the site budget."
+  in
+  Arg.(value & flag & info [ "skip-untestable" ] ~doc)
+
+(* Sites where every configured kind is statically dead: a stuck-at is
+   dead when its stem fault is untestable, a transient when both
+   polarities are (flipping the node is pinning it to one of them on
+   every trial input). *)
+let dead_sites_for nl kinds =
+  let report = Atpg.Engine.analyze nl in
+  let tbl = Atpg.Engine.verdict_table report in
+  let untestable node stuck =
+    match
+      Hashtbl.find_opt tbl { Atpg.Fault.node; pin = Atpg.Fault.Stem; stuck }
+    with
+    | Some r -> r.Atpg.Engine.verdict = Atpg.Engine.Untestable
+    | None -> false
+  in
+  List.filter
+    (fun s ->
+      List.for_all
+        (function
+          | Reliability.Inject.Stuck_at_0 -> untestable s false
+          | Reliability.Inject.Stuck_at_1 -> untestable s true
+          | Reliability.Inject.Transient ->
+              untestable s false && untestable s true)
+        kinds)
+    (Reliability.Inject.sites nl)
+
 (* One file per (run, strategy): the checkpoint fingerprint would
    reject cross-strategy reuse anyway, but distinct paths keep both
    strategies of a faultsim resumable. *)
@@ -397,8 +432,8 @@ let faultsim_cmd =
   let module Fault_sim = Reliability.Fault_sim in
   let module J = Rdca_json.Jsonout in
   let run input strategy mode seed trials max_sites time_budget confidence
-      max_cubes max_seconds no_baseline workers checkpoint resume json_out
-      analysis jobs =
+      max_cubes max_seconds no_baseline skip_untestable workers checkpoint
+      resume json_out analysis jobs =
     with_jobs_opt jobs @@ fun () ->
     with_spec input @@ fun spec ->
     let bad_arg =
@@ -482,6 +517,15 @@ let faultsim_cmd =
                 max_sites;
                 time_budget;
               }
+            in
+            let config =
+              if not skip_untestable then config
+              else begin
+                let dead = dead_sites_for nl config.Campaign.kinds in
+                Fmt.pr "skip-untestable: %d statically-dead site(s) excluded@."
+                  (List.length dead);
+                { config with Campaign.dead_sites = dead }
+              end
             in
             match workers with
             | None -> (
@@ -578,8 +622,9 @@ let faultsim_cmd =
     Term.(
       const run $ input_arg $ strategy_args $ mode_arg $ seed_arg $ trials_arg
       $ max_sites_arg $ time_budget $ confidence_arg $ cube_budget_arg
-      $ espresso_seconds_arg $ no_baseline $ workers $ checkpoint_arg
-      $ resume_arg $ json_out $ analysis_backend_arg $ jobs_arg)
+      $ espresso_seconds_arg $ no_baseline $ skip_untestable_arg $ workers
+      $ checkpoint_arg $ resume_arg $ json_out $ analysis_backend_arg
+      $ jobs_arg)
 
 (* The supervised campaign subcommand: one strategy, full control over
    the supervisor (workers, deadlines, retries, chaos), shard
@@ -588,8 +633,8 @@ let faultsim_cmd =
 let campaign_cmd =
   let module Campaign = Reliability.Campaign in
   let module J = Rdca_json.Jsonout in
-  let run input strategy mode seed trials max_sites confidence workers
-      shard_size deadline retries backoff spawn_fork checkpoint resume
+  let run input strategy mode seed trials max_sites confidence skip_untestable
+      workers shard_size deadline retries backoff spawn_fork checkpoint resume
       stop_after chaos chaos_seed json_out analysis jobs =
     with_jobs_opt jobs @@ fun () ->
     with_spec input @@ fun spec ->
@@ -629,6 +674,15 @@ let campaign_cmd =
                 max_sites;
                 time_budget = None;
               }
+            in
+            let config =
+              if not skip_untestable then config
+              else begin
+                let dead = dead_sites_for nl config.Campaign.kinds in
+                Fmt.pr "skip-untestable: %d statically-dead site(s) excluded@."
+                  (List.length dead);
+                { config with Campaign.dead_sites = dead }
+              end
             in
             let sup =
               {
@@ -755,10 +809,10 @@ let campaign_cmd =
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ input_arg $ strategy_args $ mode_arg $ seed_arg $ trials_arg
-      $ max_sites_arg $ confidence_arg $ workers $ shard_size $ deadline
-      $ retries $ backoff $ spawn_fork $ checkpoint_arg $ resume_arg
-      $ stop_after $ chaos $ chaos_seed $ json_out $ analysis_backend_arg
-      $ jobs_arg)
+      $ max_sites_arg $ confidence_arg $ skip_untestable_arg $ workers
+      $ shard_size $ deadline $ retries $ backoff $ spawn_fork
+      $ checkpoint_arg $ resume_arg $ stop_after $ chaos $ chaos_seed
+      $ json_out $ analysis_backend_arg $ jobs_arg)
 
 (* Worker side of the supervision protocol: a frame loop on
    stdin/stdout executing Distrib.dispatch.  Spawned by the campaign
@@ -909,6 +963,14 @@ let check_cutoff_arg =
     & opt int Check.Netlist_check.default_auto_cutoff
     & info [ "check-cutoff" ] ~docv:"N" ~doc)
 
+let max_diags_arg =
+  let doc =
+    "Flood-control cap: keep at most $(docv) diagnostics per analyzer (plus \
+     one summary line counting the rest), overriding the built-in \
+     per-analyzer defaults."
+  in
+  Arg.(value & opt (some int) None & info [ "max-diags" ] ~docv:"N" ~doc)
+
 let check_cmd =
   let module Diag = Check.Diag in
   let module J = Rdca_json.Jsonout in
@@ -930,13 +992,18 @@ let check_cmd =
       json;
     if Diag.has_errors diags then 1 else 0
   in
-  let run input strategy mode engine cutoff lint_only json jobs =
+  let run input strategy mode engine cutoff max_diags lint_only json jobs =
     with_jobs_opt jobs @@ fun () ->
     if cutoff < 0 then begin
       Fmt.epr "rdca: --check-cutoff must be non-negative@.";
       1
     end
-    else
+    else if (match max_diags with Some n -> n < 0 | None -> false) then begin
+      Fmt.epr "rdca: --max-diags must be non-negative@.";
+      1
+    end
+    else begin
+    Diag.set_max_diags max_diags;
     match Flow.load_source input with
     | Error (Flow.Check_failed { diags; _ }) ->
         (* The load itself was refused (on/off overlap): that IS the
@@ -966,12 +1033,13 @@ let check_cmd =
               in
               emit input json (lint @ cover_diags @ structure @ equiv_diags)
         end
+    end
   in
   let doc = "Statically check a spec and its synthesized implementation" in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ input_arg $ strategy_args $ mode_arg $ equiv_engine_arg
-      $ check_cutoff_arg $ lint_only_arg $ json_arg $ jobs_arg)
+      $ check_cutoff_arg $ max_diags_arg $ lint_only_arg $ json_arg $ jobs_arg)
 
 (* Post-mapping don't-care recovery: synthesize, sweep the windowed
    ODC/SDC analysis over the mapped netlist, rewrite node functions on
@@ -1089,6 +1157,174 @@ let optimize_cmd =
       const run $ input_arg $ strategy_args $ mode_arg $ dc_window_arg
       $ dc_backend_arg $ dc_strategy_args $ equiv_engine_arg
       $ check_cutoff_arg $ json_arg $ jobs_arg)
+
+(* Static stuck-at testability analysis: synthesize, enumerate and
+   collapse the fault universe, decide every class with the selected
+   backend, report untestable faults / inadmissible outputs / SCOAP
+   summaries, and optionally remove the redundant lines behind
+   untestable faults under the same care-set equivalence gate as
+   optimize.  Exit 1 on any error diagnostic (inadmissible output,
+   backend mismatch) or failed removal check. *)
+let testability_cmd =
+  let module Diag = Check.Diag in
+  let module J = Rdca_json.Jsonout in
+  let module Engine = Atpg.Engine in
+  let backend_arg =
+    let doc =
+      "Test-generation engine: auto | sat | exhaustive | bdd | differential \
+       (SAT plus a reference engine on every fault, fail on any verdict \
+       mismatch)."
+    in
+    Arg.(
+      value
+      & opt (enum
+               [ ("auto", Engine.Auto); ("sat", Engine.Sat_engine);
+                 ("exhaustive", Engine.Exhaustive); ("bdd", Engine.Bdd_engine);
+                 ("differential", Engine.Differential) ])
+          Engine.Auto
+      & info [ "backend" ] ~docv:"ENGINE" ~doc)
+  in
+  let collapse_arg =
+    let doc =
+      "Structural fault collapsing: none | equivalence | dominance."
+    in
+    Arg.(
+      value
+      & opt (enum
+               [ ("none", Atpg.Fault.No_collapse);
+                 ("equivalence", Atpg.Fault.Equivalence);
+                 ("dominance", Atpg.Fault.Dominance) ])
+          Atpg.Fault.Equivalence
+      & info [ "collapse" ] ~docv:"MODE" ~doc)
+  in
+  let remove_arg =
+    let doc =
+      "Remove the redundant line behind each untestable fault \
+       (constant-propagation rewrite, one fault per pass, re-analysed to a \
+       fixpoint) and prove care-set equivalence of the result."
+    in
+    Arg.(value & flag & info [ "remove-redundant" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the testability report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let removal_to_json (rem : Atpg.Redundancy.result) =
+    J.Obj
+      [
+        ("removed", J.Int (List.length rem.Atpg.Redundancy.removed));
+        ("iterations", J.Int rem.Atpg.Redundancy.iterations);
+        ("gates_before", J.Int rem.Atpg.Redundancy.gates_before);
+        ("gates_after", J.Int rem.Atpg.Redundancy.gates_after);
+        ("final", Engine.report_to_json rem.Atpg.Redundancy.final_report);
+      ]
+  in
+  let run input strategy mode backend collapse remove engine cutoff max_diags
+      json jobs =
+    with_jobs_opt jobs @@ fun () ->
+    if cutoff < 0 then begin
+      Fmt.epr "rdca: --check-cutoff must be non-negative@.";
+      1
+    end
+    else if (match max_diags with Some n -> n < 0 | None -> false) then begin
+      Fmt.epr "rdca: --max-diags must be non-negative@.";
+      1
+    end
+    else begin
+      Diag.set_max_diags max_diags;
+      with_spec input @@ fun spec ->
+      match Flow.synthesize_result ~mode ~strategy spec with
+      | Error e ->
+          Fmt.epr "rdca: %s@." (Flow.error_to_string e);
+          1
+      | Ok r -> (
+          let nl = r.Flow.netlist in
+          let config = { Engine.default_config with Engine.backend; collapse } in
+          match Engine.analyze ~config nl with
+          | exception Invalid_argument msg ->
+              Fmt.epr "rdca: %s@." msg;
+              1
+          | report ->
+              let scoap = Atpg.Scoap.compute nl in
+              let sc = Atpg.Scoap.summarize scoap in
+              let diags = Atpg.Testability_check.diagnostics nl report in
+              Fmt.pr "backend:         %s, %s collapsing@."
+                (Engine.backend_name backend)
+                (Atpg.Fault.mode_name collapse);
+              Fmt.pr "faults:          %d in %d class(es) (%.2fx collapse)@."
+                report.Engine.total_faults report.Engine.classes
+                report.Engine.collapse_ratio;
+              Fmt.pr "coverage:        %.1f%%  (%d testable, %d untestable)@."
+                (100.0 *. report.Engine.coverage)
+                report.Engine.testable report.Engine.untestable;
+              if backend = Engine.Differential then
+                Fmt.pr "backends agree:  %s (%d class(es))@."
+                  (if report.Engine.disagreements = 0 then "yes" else "NO")
+                  report.Engine.classes;
+              Fmt.pr
+                "scoap:           mean CC0 %.1f, CC1 %.1f, CO %.1f; %d \
+                 unobservable node(s)@."
+                sc.Atpg.Scoap.mean_cc0 sc.Atpg.Scoap.mean_cc1
+                sc.Atpg.Scoap.mean_co sc.Atpg.Scoap.unobservable;
+              let removal =
+                if not remove then Ok None
+                else
+                  match
+                    Flow.remove_redundant_checked ~config ~equiv:engine
+                      ~auto_cutoff:cutoff ~spec nl
+                  with
+                  | Error (Flow.Check_failed { diags = d; _ }) ->
+                      Fmt.pr "%a@." Diag.pp_report d;
+                      Error ()
+                  | Error e ->
+                      Fmt.epr "rdca: %s@." (Flow.error_to_string e);
+                      Error ()
+                  | Ok (rem, equiv_diags) ->
+                      Fmt.pr "removed:         %d redundant line(s) in %d \
+                              pass(es), %d -> %d gates@."
+                        (List.length rem.Atpg.Redundancy.removed)
+                        rem.Atpg.Redundancy.iterations
+                        rem.Atpg.Redundancy.gates_before
+                        rem.Atpg.Redundancy.gates_after;
+                      Fmt.pr
+                        "check:           care-set equivalence OK (%d \
+                         warning(s))@."
+                        (Diag.count Diag.Warn equiv_diags);
+                      Ok (Some rem)
+              in
+              Fmt.pr "%a@." Diag.pp_report (Diag.sort diags);
+              Option.iter
+                (fun path ->
+                  J.write_file path
+                    (J.Obj
+                       ([
+                          ("schema_version", J.Int 1);
+                          ("subject", J.String input);
+                          ("testability", Engine.report_to_json report);
+                          ("scoap", Atpg.Scoap.summary_to_json scoap);
+                          ( "diagnostics",
+                            Diag.report_to_json
+                              ~meta:[ ("subject", J.String input) ]
+                              diags );
+                        ]
+                       @
+                       match removal with
+                       | Ok (Some rem) -> [ ("removal", removal_to_json rem) ]
+                       | _ -> [])))
+                json;
+              if Result.is_error removal || Diag.has_errors diags then 1
+              else 0)
+    end
+  in
+  let doc =
+    "SAT-based stuck-at testability analysis: fault collapsing, \
+     untestable-fault detection and checked redundancy removal"
+  in
+  Cmd.v (Cmd.info "testability" ~doc)
+    Term.(
+      const run $ input_arg $ strategy_args $ mode_arg $ backend_arg
+      $ collapse_arg $ remove_arg $ equiv_engine_arg $ check_cutoff_arg
+      $ max_diags_arg $ json_arg $ jobs_arg)
 
 let suite_cmd =
   let run () =
@@ -1293,7 +1529,8 @@ let main =
   Cmd.group info
     [
       stats_cmd; assign_cmd; synth_cmd; faultsim_cmd; campaign_cmd; gen_cmd;
-      estimate_cmd; check_cmd; optimize_cmd; suite_cmd; bench_cmd; worker_cmd;
+      estimate_cmd; check_cmd; optimize_cmd; testability_cmd; suite_cmd;
+      bench_cmd; worker_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

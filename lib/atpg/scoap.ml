@@ -1,0 +1,191 @@
+module Gate = Netlist.Gate
+module J = Rdca_json.Jsonout
+
+let infinite = max_int / 4
+
+let ( ++ ) a b = if a >= infinite || b >= infinite then infinite else a + b
+
+type t = { cc0 : int array; cc1 : int array; co : int array }
+
+(* Minimum cost of driving fanins to a combination with gate value v,
+   by brute force over the (<= 2^5) cell input space. *)
+let cell_cc c cc0 cc1 (fis : int array) v =
+  let best = ref infinite in
+  for idx = 0 to (1 lsl c.Gate.arity) - 1 do
+    if Logic.Truth.eval c.Gate.tt idx = v then begin
+      let cost = ref 0 in
+      for i = 0 to c.Gate.arity - 1 do
+        cost :=
+          !cost ++ if idx land (1 lsl i) <> 0 then cc1.(fis.(i)) else cc0.(fis.(i))
+      done;
+      if !cost < !best then best := !cost
+    end
+  done;
+  !best
+
+let controllability nl =
+  let n = Netlist.node_count nl in
+  let cc0 = Array.make n infinite and cc1 = Array.make n infinite in
+  for i = 0 to Netlist.ni nl - 1 do
+    cc0.(i) <- 1;
+    cc1.(i) <- 1
+  done;
+  Netlist.iter_nodes nl (fun v g fis ->
+      let sum sel = Array.fold_left (fun acc i -> acc ++ sel.(i)) 0 fis in
+      let minv sel =
+        Array.fold_left (fun acc i -> min acc sel.(i)) infinite fis
+      in
+      (* Parity DP: cheapest way to make the XOR of the fanins 0/1. *)
+      let parity () =
+        let b0 = ref 0 and b1 = ref infinite in
+        Array.iter
+          (fun i ->
+            let n0 = min (!b0 ++ cc0.(i)) (!b1 ++ cc1.(i)) in
+            let n1 = min (!b0 ++ cc1.(i)) (!b1 ++ cc0.(i)) in
+            b0 := n0;
+            b1 := n1)
+          fis;
+        (!b0, !b1)
+      in
+      let c0, c1 =
+        match g with
+        | Gate.Input _ -> (1, 1)
+        | Gate.Const b -> if b then (infinite, 0) else (0, infinite)
+        | Gate.Buf -> (cc0.(fis.(0)) ++ 1, cc1.(fis.(0)) ++ 1)
+        | Gate.Not -> (cc1.(fis.(0)) ++ 1, cc0.(fis.(0)) ++ 1)
+        | Gate.And -> (minv cc0 ++ 1, sum cc1 ++ 1)
+        | Gate.Nand -> (sum cc1 ++ 1, minv cc0 ++ 1)
+        | Gate.Or -> (sum cc0 ++ 1, minv cc1 ++ 1)
+        | Gate.Nor -> (minv cc1 ++ 1, sum cc0 ++ 1)
+        | Gate.Xor ->
+            let p0, p1 = parity () in
+            (p0 ++ 1, p1 ++ 1)
+        | Gate.Xnor ->
+            let p0, p1 = parity () in
+            (p1 ++ 1, p0 ++ 1)
+        | Gate.Cell c ->
+            (cell_cc c cc0 cc1 fis false ++ 1, cell_cc c cc0 cc1 fis true ++ 1)
+      in
+      cc0.(v) <- c0;
+      cc1.(v) <- c1);
+  (cc0, cc1)
+
+(* Cost of sensitising pin [j] of gate [g]: set the other fanins to
+   non-controlling values so the pin's value reaches the gate output. *)
+let sensitize_cost g fis j cc0 cc1 =
+  let others sel =
+    let acc = ref 0 in
+    Array.iteri (fun k i -> if k <> j then acc := !acc ++ sel.(i)) fis;
+    !acc
+  in
+  match g with
+  | Gate.Buf | Gate.Not -> 0
+  | Gate.And | Gate.Nand -> others cc1
+  | Gate.Or | Gate.Nor -> others cc0
+  | Gate.Xor | Gate.Xnor ->
+      let acc = ref 0 in
+      Array.iteri
+        (fun k i -> if k <> j then acc := !acc ++ min cc0.(i) cc1.(i))
+        fis;
+      !acc
+  | Gate.Cell c ->
+      (* Cheapest assignment of the other pins under which the cell
+         output depends on pin j. *)
+      let best = ref infinite in
+      for idx = 0 to (1 lsl c.Gate.arity) - 1 do
+        if idx land (1 lsl j) = 0 then begin
+          let v0 = Logic.Truth.eval c.Gate.tt idx in
+          let v1 = Logic.Truth.eval c.Gate.tt (idx lor (1 lsl j)) in
+          if v0 <> v1 then begin
+            let cost = ref 0 in
+            for i = 0 to c.Gate.arity - 1 do
+              if i <> j then
+                cost :=
+                  !cost
+                  ++
+                  if idx land (1 lsl i) <> 0 then cc1.(fis.(i))
+                  else cc0.(fis.(i))
+            done;
+            if !cost < !best then best := !cost
+          end
+        end
+      done;
+      !best
+  | Gate.Input _ | Gate.Const _ -> infinite
+
+let compute nl =
+  let cc0, cc1 = controllability nl in
+  let n = Netlist.node_count nl in
+  let co = Array.make n infinite in
+  Array.iter (fun o -> co.(o) <- 0) (Netlist.outputs nl);
+  (* Consumers have larger ids (topological order), so one descending
+     sweep sees final CO values for every reader. *)
+  for v = n - 1 downto 0 do
+    match Netlist.gate nl v with
+    | Gate.Input _ | Gate.Const _ -> ()
+    | g ->
+        let fis = Netlist.fanins nl v in
+        Array.iteri
+          (fun j d ->
+            let c = co.(v) ++ sensitize_cost g fis j cc0 cc1 ++ 1 in
+            if c < co.(d) then co.(d) <- c)
+          fis
+  done;
+  { cc0; cc1; co }
+
+type summary = {
+  max_cc0 : int;
+  max_cc1 : int;
+  max_co : int;
+  mean_cc0 : float;
+  mean_cc1 : float;
+  mean_co : float;
+  uncontrollable : int;
+  unobservable : int;
+}
+
+let finite_stats a =
+  let mx = ref 0 and sum = ref 0 and cnt = ref 0 in
+  Array.iter
+    (fun x ->
+      if x < infinite then begin
+        if x > !mx then mx := x;
+        sum := !sum + x;
+        incr cnt
+      end)
+    a;
+  (!mx, (if !cnt = 0 then 0.0 else float_of_int !sum /. float_of_int !cnt))
+
+let summarize t =
+  let max_cc0, mean_cc0 = finite_stats t.cc0 in
+  let max_cc1, mean_cc1 = finite_stats t.cc1 in
+  let max_co, mean_co = finite_stats t.co in
+  let uncontrollable = ref 0 and unobservable = ref 0 in
+  Array.iteri
+    (fun i c0 -> if c0 >= infinite || t.cc1.(i) >= infinite then incr uncontrollable)
+    t.cc0;
+  Array.iter (fun c -> if c >= infinite then incr unobservable) t.co;
+  {
+    max_cc0;
+    max_cc1;
+    max_co;
+    mean_cc0;
+    mean_cc1;
+    mean_co;
+    uncontrollable = !uncontrollable;
+    unobservable = !unobservable;
+  }
+
+let summary_to_json t =
+  let s = summarize t in
+  J.Obj
+    [
+      ("max_cc0", J.Int s.max_cc0);
+      ("max_cc1", J.Int s.max_cc1);
+      ("max_co", J.Int s.max_co);
+      ("mean_cc0", J.Float s.mean_cc0);
+      ("mean_cc1", J.Float s.mean_cc1);
+      ("mean_co", J.Float s.mean_co);
+      ("uncontrollable", J.Int s.uncontrollable);
+      ("unobservable", J.Int s.unobservable);
+    ]

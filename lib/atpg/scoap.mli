@@ -1,0 +1,34 @@
+(** SCOAP-style testability measures (Goldstein's controllability /
+    observability program heuristics).
+
+    [CC0]/[CC1] count, per node, the minimum number of gate
+    assignments needed to drive the node to 0/1 (primary inputs cost
+    1); [CO] counts the assignments needed to propagate the node's
+    value to some primary output (outputs cost 0).  Unreachable goals
+    (e.g. forcing a constant to its opposite value, or observing a
+    dangling node) are {!infinite}.  These are heuristics — cheap
+    upper-structure estimates, not exact — and are reported as
+    summary statistics alongside the exact SAT verdicts. *)
+
+val infinite : int
+(** Sentinel for "no assignment achieves it"; additions saturate. *)
+
+type t = { cc0 : int array; cc1 : int array; co : int array }
+(** Per-node measures, indexed by node id (inputs included). *)
+
+val compute : Netlist.t -> t
+
+type summary = {
+  max_cc0 : int;
+  max_cc1 : int;
+  max_co : int;  (** maxima over finite entries; 0 when none *)
+  mean_cc0 : float;
+  mean_cc1 : float;
+  mean_co : float;  (** means over finite entries *)
+  uncontrollable : int;  (** nodes with an infinite CC0 or CC1 *)
+  unobservable : int;  (** nodes with infinite CO *)
+}
+
+val summarize : t -> summary
+
+val summary_to_json : t -> Rdca_json.Jsonout.t

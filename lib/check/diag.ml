@@ -90,7 +90,21 @@ let pp_report ppf diags =
   Format.fprintf ppf "%d error(s), %d warning(s), %d info@." (count Error diags)
     (count Warn diags) (count Info diags)
 
+(* Global flood-control override (--max-diags): when set, it replaces
+   every analyzer's built-in cap.  Written once at CLI startup, read
+   by the analyzers — not synchronised. *)
+let max_diags_override = ref None
+
+let set_max_diags = function
+  | Some n when n < 0 -> invalid_arg "Diag.set_max_diags: negative limit"
+  | v -> max_diags_override := v
+
+let max_diags () = !max_diags_override
+
 let cap ~limit diags =
+  let limit =
+    match !max_diags_override with Some n -> n | None -> limit
+  in
   if List.length diags <= limit then diags
   else
     match diags with

@@ -63,8 +63,19 @@ val sort : t list -> t list
 (** [cap ~limit diags] truncates a homogeneous diagnostic list (all
     sharing one code/severity) to [limit] entries plus one summary
     diagnostic counting the rest — flood control for pathological
-    inputs, deterministic either way. *)
+    inputs, deterministic either way.  [limit] is the analyzer's
+    built-in default; a {!set_max_diags} override replaces it
+    globally. *)
 val cap : limit:int -> t list -> t list
+
+(** [set_max_diags (Some n)] overrides every analyzer's built-in
+    {!cap} limit with [n] ([--max-diags] in the CLI); [None] restores
+    the per-analyzer defaults.  Set once at startup — the override is
+    a plain global, not synchronised.
+    @raise Invalid_argument on a negative limit. *)
+val set_max_diags : int option -> unit
+
+val max_diags : unit -> int option
 
 val location_to_string : location -> string
 

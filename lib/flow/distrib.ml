@@ -127,6 +127,16 @@ let decode_campaign_config v =
         max_sites =
           Option.bind (Jin.member "max_sites" c) Jin.to_int;
         time_budget = None;
+        dead_sites =
+          (match Option.bind (Jin.member "dead_sites" c) Jin.to_list with
+          | None -> []
+          | Some l ->
+              List.map
+                (fun s ->
+                  match Jin.to_int s with
+                  | Some i -> i
+                  | None -> fail "campaign config: non-integer dead site")
+                l);
       }
 
 (* Out-of-process workers rebuild the netlist from the task's

@@ -326,6 +326,32 @@ let optimize_checked ?config ?dc_strategy ?equiv ?auto_cutoff ~spec nl =
           Error (Check_failed { subject = "dc-optimize"; diags })
         else Ok (opt, diags)
 
+let remove_redundant_checked ?config ?max_iterations ?equiv ?auto_cutoff ~spec
+    nl =
+  match Atpg.Redundancy.remove ?config ?max_iterations nl with
+  | exception Invalid_argument msg -> Error (Synthesis_failure msg)
+  | exception Failure msg -> Error (Synthesis_failure msg)
+  | rem ->
+      if rem.Atpg.Redundancy.final_report.Atpg.Engine.disagreements > 0 then
+        let diags =
+          [
+            Check.Diag.error ~code:"atpg-backend-mismatch"
+              ~loc:Check.Diag.Global
+              "SAT and reference testability backends disagree on %d fault \
+               class(es)"
+              rem.Atpg.Redundancy.final_report.Atpg.Engine.disagreements;
+          ]
+        in
+        Error (Check_failed { subject = "redundancy-removal"; diags })
+      else
+        let diags =
+          Check.Netlist_check.equiv_spec ?engine:equiv ?auto_cutoff ~spec
+            rem.Atpg.Redundancy.netlist
+        in
+        if Check.Diag.has_errors diags then
+          Error (Check_failed { subject = "redundancy-removal"; diags })
+        else Ok (rem, diags)
+
 let implement_shared spec =
   let ni = Spec.ni spec and no = Spec.no spec in
   let ons = Parallel.Pool.init no (fun o -> Spec.on_bv spec ~o) in

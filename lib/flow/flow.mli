@@ -235,6 +235,24 @@ val optimize_checked :
   Netlist.t ->
   (Rdca_dc.Dc.opt_result * Check.Diag.t list, error) Stdlib.result
 
+(** [remove_redundant_checked ?config ?max_iterations ?equiv
+    ?auto_cutoff ~spec nl] runs untestable-fault redundancy removal
+    ({!Atpg.Redundancy.remove}) and proves the rewritten netlist still
+    realises [spec] on its care set, the same gate as
+    {!optimize_checked}: a [Differential] verdict disagreement refuses
+    with [Check_failed] (code [atpg-backend-mismatch]), as does any
+    care-set mismatch — an untestable fault is an equivalence proof,
+    so a mismatch means an engine bug.  On success the equivalence
+    diagnostics (all non-error) ride along. *)
+val remove_redundant_checked :
+  ?config:Atpg.Engine.config ->
+  ?max_iterations:int ->
+  ?equiv:Check.Netlist_check.equiv_engine ->
+  ?auto_cutoff:int ->
+  spec:Pla.Spec.t ->
+  Netlist.t ->
+  (Atpg.Redundancy.result * Check.Diag.t list, error) Stdlib.result
+
 (** {1 Multi-output (shared-cube) variant}
 
     Uses {!Espresso.Multi} so product terms are shared across outputs

@@ -7,6 +7,7 @@ type config = {
   kinds : Inject.kind list;
   max_sites : int option;
   time_budget : float option;
+  dead_sites : int list;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     kinds = Inject.all_kinds;
     max_sites = None;
     time_budget = None;
+    dead_sites = [];
   }
 
 type site_result = {
@@ -80,8 +82,16 @@ let validate_config name config spec nl =
     invalid_arg (name ^ ": trials_per_site must be positive");
   if config.kinds = [] then invalid_arg (name ^ ": no fault kinds")
 
+(* Statically-dead sites (every configured kind untestable — see
+   [Atpg.Engine]) are excluded *before* the subsample, so --max-sites
+   budgets are spent on faults that can matter. *)
 let selected_sites config nl =
-  select_sites ~seed:config.seed ~max_sites:config.max_sites (Inject.sites nl)
+  let sites =
+    match config.dead_sites with
+    | [] -> Inject.sites nl
+    | dead -> List.filter (fun s -> not (List.mem s dead)) (Inject.sites nl)
+  in
+  select_sites ~seed:config.seed ~max_sites:config.max_sites sites
 
 (* One work item = one site (all its kinds).  Every (site, kind) pair
    draws from an RNG derived from the master seed alone, so evaluating
@@ -230,6 +240,7 @@ let config_to_json c =
       ("kinds", J.List (List.map (fun k -> J.String (Inject.kind_name k)) c.kinds));
       ( "max_sites",
         match c.max_sites with Some k -> J.Int k | None -> J.Null );
+      ("dead_sites", J.List (List.map (fun s -> J.Int s) c.dead_sites));
     ]
 
 let site_result_to_json r =

@@ -27,6 +27,13 @@ type config = {
           current block of sites (a single site with one job) and the
           report is marked incomplete.  At least one site is always
           evaluated. *)
+  dead_sites : int list;
+      (** node ids excluded from site selection before any
+          subsampling — statically untestable sites found by
+          [Atpg.Engine] ([--skip-untestable]), whose faults cannot
+          propagate and would only dilute the sweep.  Part of the
+          config fingerprint: checkpoints do not resume across a
+          different exclusion list. *)
 }
 
 (** [default_config] — seed 42, 1000 trials, 95% confidence, all

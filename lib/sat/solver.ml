@@ -43,6 +43,7 @@ type t = {
   mutable n_conflicts : int;
   mutable n_decisions : int;
   mutable n_propagations : int;
+  mutable n_restarts : int;
 }
 
 let create () =
@@ -70,6 +71,7 @@ let create () =
     n_conflicts = 0;
     n_decisions = 0;
     n_propagations = 0;
+    n_restarts = 0;
   }
 
 let nvars t = t.nvars
@@ -79,6 +81,8 @@ let conflicts t = t.n_conflicts
 let decisions t = t.n_decisions
 
 let propagations t = t.n_propagations
+
+let restarts t = t.n_restarts
 
 let grow_int a n default =
   if n <= Array.length a then a
@@ -371,7 +375,7 @@ let pick_branch t =
   done;
   !best
 
-let solve ?(assumptions = []) t =
+let solve_body ?(assumptions = []) t =
   t.have_model <- false;
   if t.empty_clause then Unsat
   else begin
@@ -414,7 +418,10 @@ let solve ?(assumptions = []) t =
               if not (record_learnt t learnt) then result := Some Unsat
               else begin
                 t.var_inc <- t.var_inc /. var_decay;
-                if !local_conflicts >= budget then restart := true
+                if !local_conflicts >= budget then begin
+                  restart := true;
+                  t.n_restarts <- t.n_restarts + 1
+                end
               end
             end
           end
@@ -454,3 +461,24 @@ let solve ?(assumptions = []) t =
       match !result with Some r -> r | None -> assert false
     end
   end
+
+(* Always-on profiling counters: per-call deltas of the solver's own
+   statistics, so --profile runs attribute SAT search effort no
+   matter which subsystem (dc windows, atpg miters) owns the
+   solver. *)
+let prof_conflicts = Prof.counter "sat.conflicts"
+let prof_decisions = Prof.counter "sat.decisions"
+let prof_propagations = Prof.counter "sat.propagations"
+let prof_restarts = Prof.counter "sat.restarts"
+
+let solve ?assumptions t =
+  let c0 = t.n_conflicts
+  and d0 = t.n_decisions
+  and p0 = t.n_propagations
+  and r0 = t.n_restarts in
+  let r = solve_body ?assumptions t in
+  Prof.add prof_conflicts (t.n_conflicts - c0);
+  Prof.add prof_decisions (t.n_decisions - d0);
+  Prof.add prof_propagations (t.n_propagations - p0);
+  Prof.add prof_restarts (t.n_restarts - r0);
+  r

@@ -59,10 +59,17 @@ val solve : ?assumptions:lit list -> t -> result
     @raise Invalid_argument if the last call did not return [Sat]. *)
 val value : t -> int -> bool
 
-(** Cumulative statistics over the solver's lifetime. *)
+(** Cumulative statistics over the solver's lifetime.  Per-solve
+    deltas of all four are also published through [Prof] as the
+    always-on counters [sat.conflicts] / [sat.decisions] /
+    [sat.propagations] / [sat.restarts], so profiled runs attribute
+    SAT search effort regardless of which subsystem owns the
+    solver. *)
 
 val conflicts : t -> int
 
 val decisions : t -> int
 
 val propagations : t -> int
+
+val restarts : t -> int

@@ -42,4 +42,5 @@ let () =
       Test_resilient.suite;
       Test_sat.suite;
       Test_dc.suite;
+      Test_atpg.suite;
     ]

@@ -202,6 +202,37 @@ let test_pp_report_smoke () =
   check "lists every kind" true
     (List.for_all (fun k -> contains out (Inject.kind_name k)) Inject.all_kinds)
 
+(* dead_sites excludes nodes before sweeping and lands in the config
+   fingerprint; the per-site JSON names its fault kind. *)
+let test_dead_sites () =
+  let s, nl = fixture () in
+  let all = Campaign.run (config ()) s nl in
+  let sites r =
+    List.sort_uniq compare
+      (List.map (fun (sr : Campaign.site_result) -> sr.Campaign.site)
+         r.Campaign.results)
+  in
+  match sites all with
+  | [] -> Alcotest.fail "campaign swept no sites"
+  | dead :: _ as every ->
+      let cfg = { (config ()) with Campaign.dead_sites = [ dead ] } in
+      let r = Campaign.run cfg s nl in
+      check "dead site excluded" false (List.mem dead (sites r));
+      check "live sites kept" true
+        (sites r = List.filter (fun x -> x <> dead) every);
+      let j = Rdca_json.Jsonout.to_string (Campaign.config_to_json cfg) in
+      check "dead_sites in fingerprint" true (contains j "dead_sites")
+
+let test_site_json_names_kind () =
+  let s, nl = fixture () in
+  let r = Campaign.run (config ()) s nl in
+  List.iter
+    (fun (sr : Campaign.site_result) ->
+      let j = Rdca_json.Jsonout.to_string (Campaign.site_result_to_json sr) in
+      check "site json names its kind" true
+        (contains j ("\"" ^ Inject.kind_name sr.Campaign.kind ^ "\"")))
+    r.Campaign.results
+
 let suite =
   ( "campaign",
     [
@@ -215,4 +246,7 @@ let suite =
       Alcotest.test_case "pooled invariants" `Quick test_pooled;
       Alcotest.test_case "validation" `Quick test_validation;
       Alcotest.test_case "pp_report smoke" `Quick test_pp_report_smoke;
+      Alcotest.test_case "dead sites" `Quick test_dead_sites;
+      Alcotest.test_case "site json names kind" `Quick
+        test_site_json_names_kind;
     ] )

@@ -147,6 +147,11 @@ let test_validation () =
   expect_invalid "negative node id" (fun () ->
       Inject.eval_minterm nl { Inject.node = -1; kind = Inject.Transient } 0)
 
+let prop_kind_names_roundtrip =
+  QCheck.Test.make ~name:"kind names round-trip" ~count:30
+    (QCheck.oneofl Inject.all_kinds)
+    (fun k -> Inject.kind_of_name (Inject.name_of_kind k) = Some k)
+
 let suite =
   ( "inject",
     [
@@ -161,4 +166,5 @@ let suite =
       Alcotest.test_case "monte-carlo deterministic" `Quick
         test_mc_deterministic;
       Alcotest.test_case "validation" `Quick test_validation;
+      QCheck_alcotest.to_alcotest prop_kind_names_roundtrip;
     ] )

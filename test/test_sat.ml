@@ -248,6 +248,44 @@ let prop_model_satisfies =
                 cl)
             clauses)
 
+(* Search statistics: the per-solver accessors move monotonically and
+   the always-on Prof counters pick up every solve's deltas. *)
+let test_search_counters () =
+  let before =
+    List.map Prof.value
+      [
+        Prof.counter "sat.conflicts";
+        Prof.counter "sat.decisions";
+        Prof.counter "sat.propagations";
+        Prof.counter "sat.restarts";
+      ]
+  in
+  let s = Solver.create () in
+  let v = Array.init 8 (fun _ -> Solver.new_var s) in
+  (* small pigeonhole-ish UNSAT core: forces real search *)
+  for i = 0 to 6 do
+    Solver.add_clause s [ Solver.pos v.(i); Solver.pos v.(i + 1) ];
+    Solver.add_clause s [ Solver.neg v.(i); Solver.neg v.(i + 1) ]
+  done;
+  Solver.add_clause s [ Solver.pos v.(0); Solver.pos v.(7) ];
+  ignore (Solver.solve s);
+  check "conflicts >= 0" true (Solver.conflicts s >= 0);
+  check "decisions >= 0" true (Solver.decisions s >= 0);
+  check "propagations > 0" true (Solver.propagations s > 0);
+  check "restarts >= 0" true (Solver.restarts s >= 0);
+  let after =
+    List.map Prof.value
+      [
+        Prof.counter "sat.conflicts";
+        Prof.counter "sat.decisions";
+        Prof.counter "sat.propagations";
+        Prof.counter "sat.restarts";
+      ]
+  in
+  check "prof counters monotone" true (List.for_all2 ( <= ) before after);
+  check "prof saw the propagations" true
+    (List.nth after 2 >= List.nth before 2 + Solver.propagations s)
+
 let suite =
   ( "sat",
     [
@@ -260,6 +298,7 @@ let suite =
       Alcotest.test_case "literal packing" `Quick test_lit_packing;
       Alcotest.test_case "gate encoding" `Quick test_gate_encoding;
       Alcotest.test_case "gate arity checks" `Quick test_gate_arity_checks;
+      Alcotest.test_case "search counters" `Quick test_search_counters;
       QCheck_alcotest.to_alcotest prop_random_cnf;
       QCheck_alcotest.to_alcotest prop_model_satisfies;
     ] )
